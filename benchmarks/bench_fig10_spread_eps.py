@@ -1,0 +1,26 @@
+"""Fig. 10: influence spread of the returned tag sets when varying epsilon.
+
+Paper shape: the spreads of the different methods are close for small epsilon
+and may drift apart slightly for large epsilon (fewer samples, noisier
+estimates), but all stay in the same band.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig10
+from repro.bench.reporting import format_table
+
+
+def test_fig10_spread_vs_epsilon(benchmark, harness):
+    result = benchmark.pedantic(experiment_fig10, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    for name in harness.config.datasets:
+        for epsilon in (0.3, 0.5, 0.7, 0.9):
+            spreads = [row[-1] for row in result.filter_rows(dataset=name, epsilon=epsilon)]
+            assert spreads, (name, epsilon)
+            assert min(spreads) >= 0.0
+            # All methods stay within a common band (ratio bounded).
+            top = max(spreads)
+            bottom = max(min(spreads), 1.0)
+            assert top / bottom < 3.0, (name, epsilon, spreads)

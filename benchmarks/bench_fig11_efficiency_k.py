@@ -1,0 +1,33 @@
+"""Fig. 11: query efficiency when varying the number of selected tags k.
+
+Paper shape: running time grows with k but far slower than the number of
+candidate tag sets C(|Omega|, k), because the low tag-topic density lets the
+best-effort strategy prune most unsupported tag sets.
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig11
+from repro.bench.reporting import format_table
+
+K_VALUES = (1, 2, 3)
+
+
+def test_fig11_efficiency_vs_k(benchmark, harness):
+    result = benchmark.pedantic(
+        experiment_fig11, args=(harness,), kwargs={"k_values": K_VALUES}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(result))
+    for name in harness.config.datasets:
+        num_tags = harness.dataset(name).model.num_tags
+        lazy_times = {k: result.cell("seconds", dataset=name, k=k, method="lazy") for k in K_VALUES}
+        # Times are recorded for every k.
+        assert all(v is not None for v in lazy_times.values())
+        # Sub-combinatorial growth: going from k=1 to k=3 multiplies the number of
+        # candidate sets by C(n,3)/C(n,1) but the time by far less.
+        candidate_blowup = math.comb(num_tags, 3) / max(1, math.comb(num_tags, 1))
+        time_blowup = lazy_times[3] / max(lazy_times[1], 1e-6)
+        assert time_blowup < candidate_blowup / 5, (name, time_blowup, candidate_blowup)

@@ -1,0 +1,38 @@
+"""Fig. 12: scalability against the number of tags |Omega| and topics |Z|.
+
+On the twitter-like dataset the vocabulary and topic count are swept.  Paper
+shape: running time grows with |Omega| (more candidate tag sets) but does not
+grow -- and often shrinks -- with |Z| (more topics means a lower tag-topic
+density and therefore stronger best-effort pruning).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig12
+from repro.bench.reporting import format_table
+
+TAG_COUNTS = (30, 60, 90)
+TOPIC_COUNTS = (10, 20, 30)
+
+
+def test_fig12_scalability(benchmark, harness):
+    dataset_name = "twitter" if "twitter" in harness.config.datasets else harness.config.datasets[0]
+    result = benchmark.pedantic(
+        experiment_fig12,
+        args=(harness,),
+        kwargs={"dataset_name": dataset_name, "tag_counts": TAG_COUNTS, "topic_counts": TOPIC_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(result))
+    # Growth with |Omega|: the largest vocabulary is not faster than the smallest.
+    small_tags = result.cell("seconds", sweep="num_tags", value=TAG_COUNTS[0], method="lazy")
+    large_tags = result.cell("seconds", sweep="num_tags", value=TAG_COUNTS[-1], method="lazy")
+    assert large_tags >= small_tags * 0.8
+    # No blow-up with |Z|: the largest topic count costs at most ~2x the smallest.
+    topic_times = [
+        result.cell("seconds", sweep="num_topics", value=value, method="lazy")
+        for value in TOPIC_COUNTS
+    ]
+    assert max(topic_times) <= max(min(topic_times), 1e-6) * 4.0

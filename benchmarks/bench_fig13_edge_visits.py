@@ -1,0 +1,30 @@
+"""Fig. 13 / Appendix D: number of edges visited by the online sampling methods.
+
+For a fixed influential tag set, the per-estimation edge-probe counts of MC,
+RR and LAZY are compared across the user groups.  Paper shape: LAZY visits at
+least an order of magnitude fewer edges than MC and RR (it only touches edges
+whose geometric schedule fires), and high-degree users require more probes
+than low-degree users.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig13
+from repro.bench.reporting import format_table
+
+
+def test_fig13_edge_visits(benchmark, harness):
+    result = benchmark.pedantic(experiment_fig13, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    for name in harness.config.datasets:
+        lazy = np.mean([row[-1] for row in result.filter_rows(dataset=name, method="lazy")])
+        mc = np.mean([row[-1] for row in result.filter_rows(dataset=name, method="mc")])
+        rr = np.mean([row[-1] for row in result.filter_rows(dataset=name, method="rr")])
+        # Paper shape: lazy probes dramatically fewer edges than both MC and RR.
+        assert lazy < mc / 3, (name, lazy, mc)
+        assert lazy < rr, (name, lazy, rr)
+        # High-degree users need at least as many probes as low-degree users (MC).
+        high = result.cell("mean_edges_visited", dataset=name, group="high", method="mc")
+        low = result.cell("mean_edges_visited", dataset=name, group="low", method="mc")
+        assert high >= low * 0.5

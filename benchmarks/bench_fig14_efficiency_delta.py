@@ -1,0 +1,26 @@
+"""Fig. 14: query efficiency when varying the confidence parameter delta.
+
+Paper shape: the running time of every method grows only mildly
+(logarithmically) as delta grows from 10 to 10000, and the index-based methods
+keep their advantage over online lazy sampling across the whole range.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig14
+from repro.bench.reporting import format_table
+
+DELTAS = (10.0, 100.0, 1000.0, 10000.0)
+
+
+def test_fig14_efficiency_vs_delta(benchmark, harness):
+    result = benchmark.pedantic(
+        experiment_fig14, args=(harness,), kwargs={"delta_values": DELTAS}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(result))
+    for name in harness.config.datasets:
+        lazy_times = [result.cell("seconds", dataset=name, delta=d, method="lazy") for d in DELTAS]
+        assert all(t is not None for t in lazy_times)
+        # No exponential blow-up: 1000x larger delta costs at most ~6x more time.
+        assert max(lazy_times) <= max(min(lazy_times), 1e-6) * 6.0, (name, lazy_times)

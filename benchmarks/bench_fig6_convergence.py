@@ -1,0 +1,26 @@
+"""Fig. 6: empirical convergence of sampling-based influence estimation.
+
+For the highest out-degree user and their most influential tag, the estimate of
+MC / RR / LAZY is tracked as the sample count grows.  Paper shape: MC and LAZY
+stabilize with fewer samples than RR (Bernoulli indicators are the worst case
+for the Chernoff bound), and all three converge to the same value.
+"""
+
+from repro.bench.experiments import experiment_fig6
+from repro.bench.reporting import format_table
+
+
+def test_fig6_sampling_convergence(benchmark, harness):
+    result = benchmark.pedantic(experiment_fig6, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    for name in harness.config.datasets:
+        finals = {}
+        for method in ("mc", "rr", "lazy"):
+            series = [row for row in result.filter_rows(dataset=name, method=method)]
+            estimates = [row[-1] for row in series]
+            assert len(estimates) >= 3
+            finals[method] = estimates[-1]
+        # All three estimators converge to the same quantity (within 40%).
+        top, bottom = max(finals.values()), max(min(finals.values()), 1e-9)
+        assert top / bottom < 1.4, finals

@@ -1,0 +1,35 @@
+"""Fig. 7: query efficiency when varying the query user group.
+
+All seven methods (RR, MC, LAZY, TIM, IndexEst, IndexEst+, DelayMat) answer
+PITEX queries for users drawn from the high / mid / low out-degree groups.
+Paper shape: LAZY beats MC and RR among online samplers; the index-based
+methods are faster than online sampling; IndexEst+ improves on IndexEst.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig7
+from repro.bench.reporting import format_table
+
+
+def _mean_time(result, method, datasets):
+    values = [row[-1] for row in result.rows if row[2] == method and row[0] in datasets]
+    return float(np.mean(values)) if values else 0.0
+
+
+def test_fig7_efficiency_by_user_group(benchmark, harness):
+    result = benchmark.pedantic(experiment_fig7, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    datasets = harness.config.datasets
+    lazy = _mean_time(result, "lazy", datasets)
+    mc = _mean_time(result, "mc", datasets)
+    rr = _mean_time(result, "rr", datasets)
+    indexest = _mean_time(result, "indexest", datasets)
+    indexest_plus = _mean_time(result, "indexest+", datasets)
+    # Paper shape: lazy is the fastest online sampler.
+    assert lazy <= min(mc, rr) * 1.2
+    # Paper shape: pruning helps the index (allow slack for tiny instances).
+    assert indexest_plus <= indexest * 1.5
+    # Index-based estimation beats the slowest online samplers.
+    assert indexest_plus < max(mc, rr)

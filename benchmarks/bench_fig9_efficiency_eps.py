@@ -1,0 +1,28 @@
+"""Fig. 9: query efficiency when varying the error tolerance epsilon.
+
+Paper shape: every method gets faster as epsilon grows (fewer samples are
+needed), and the index-based methods dominate online lazy sampling across the
+whole range.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import experiment_fig9
+from repro.bench.reporting import format_table
+
+
+def test_fig9_efficiency_vs_epsilon(benchmark, harness):
+    result = benchmark.pedantic(experiment_fig9, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    epsilons = sorted({row[1] for row in result.rows})
+    assert epsilons == [0.3, 0.5, 0.7, 0.9]
+    # Lazy online sampling slows down when the tolerance tightens from 0.9 to 0.3.
+    for name in harness.config.datasets:
+        tight = result.cell("seconds", dataset=name, epsilon=0.3, method="lazy")
+        loose = result.cell("seconds", dataset=name, epsilon=0.9, method="lazy")
+        assert tight >= loose * 0.8
+    # Index-based estimation is never slower than lazy sampling on average.
+    lazy_mean = np.mean([row[-1] for row in result.rows if row[2] == "lazy"])
+    index_mean = np.mean([row[-1] for row in result.rows if row[2] == "indexest+"])
+    assert index_mean <= lazy_mean * 1.5

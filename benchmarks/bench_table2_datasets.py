@@ -1,0 +1,24 @@
+"""Table 2: statistics of the datasets (synthetic analogues).
+
+Reproduces the dataset-statistics table: |V|, |E|, density |E|/|V|, |Z| and
+|Omega| per dataset, plus the tag-topic density quoted in Sec. 7.3.  The shape
+check is that the generated analogues preserve the paper's density / topic /
+vocabulary parameters at the reduced scale.
+"""
+
+from repro.bench.experiments import experiment_table2
+from repro.bench.reporting import format_table
+
+
+def test_table2_dataset_statistics(benchmark, harness):
+    result = benchmark.pedantic(experiment_table2, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    # Shape checks: every configured dataset appears and matches its profile.
+    for name in harness.config.datasets:
+        profile = harness.dataset(name).profile
+        density = result.cell("density", dataset=name)
+        assert density == round(harness.dataset(name).graph.density(), 2)
+        assert abs(density - profile.average_degree) / profile.average_degree < 0.6
+        assert result.cell("num_topics", dataset=name) == profile.num_topics
+        assert result.cell("num_tags", dataset=name) == profile.num_tags

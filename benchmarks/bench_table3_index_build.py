@@ -1,0 +1,23 @@
+"""Table 3: index sizes (MB) and construction time (s).
+
+Reproduces the RR-Graphs vs DelayMat comparison.  The paper's shape: the
+materialized RR-Graphs index is much larger than the raw data while DelayMat
+is tiny (one counter per user) and builds faster because nothing is stored.
+"""
+
+from repro.bench.experiments import experiment_table3
+from repro.bench.reporting import format_table
+
+
+def test_table3_index_sizes_and_build_time(benchmark, harness):
+    result = benchmark.pedantic(experiment_table3, args=(harness,), rounds=1, iterations=1)
+    print()
+    print(format_table(result))
+    for name in harness.config.datasets:
+        rr_size = result.cell("size_mb", dataset=name, index="rr-graphs")
+        delay_size = result.cell("size_mb", dataset=name, index="delaymat")
+        # Paper shape: DelayMat is orders of magnitude smaller than RR-Graphs.
+        assert delay_size < rr_size / 10
+        rr_time = result.cell("build_seconds", dataset=name, index="rr-graphs")
+        delay_time = result.cell("build_seconds", dataset=name, index="delaymat")
+        assert rr_time > 0.0 and delay_time > 0.0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark file reproduces one table or figure of the paper through the
+drivers in :mod:`repro.bench.experiments`.  The harness (datasets, engines,
+indexes and the memoized sweeps shared by time/spread figure pairs) is session
+scoped so expensive ingredients are built once for the whole ``pytest
+benchmarks/`` run.
+
+The default sizing is the ``smoke`` preset -- small synthetic analogues that
+keep the full suite in the minutes range on a laptop.  Set the environment
+variable ``PITEX_BENCH_PRESET=default`` (or ``full``) for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.config import BenchmarkConfig
+from repro.bench.harness import BenchmarkHarness
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchmarkConfig:
+    """The sizing preset used by the whole benchmark session."""
+    preset = os.environ.get("PITEX_BENCH_PRESET", "smoke")
+    return BenchmarkConfig.preset(preset)
+
+
+@pytest.fixture(scope="session")
+def harness(bench_config: BenchmarkConfig) -> BenchmarkHarness:
+    """A session-wide harness so datasets / engines / indexes are built once."""
+    return BenchmarkHarness(bench_config)

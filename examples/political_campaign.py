@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Political campaign scenario (the paper's Fig. 1 motivation).
+
+A candidate's team wants to know which campaign topics ("hashtags") propagate
+furthest through the re-tweet network, so speeches and ads can lean on the
+candidate's actual selling points.  We build a small synthetic re-tweet network
+with named hashtags, learn nothing (the probabilities are given, as if a TIC
+learner had produced them), and run PITEX for two candidates with different
+follower structures.
+
+Run with::
+
+    python examples/political_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PitexEngine, TagTopicModel, TopicSocialGraph
+from repro.graph.generators import power_law_topic_graph
+
+HASHTAGS = [
+    "infrastructure-rebuild",
+    "income-tax-reduction",
+    "social-security",
+    "foreign-policy",
+    "us-china-relation",
+    "healthcare-reform",
+    "climate-action",
+    "education-funding",
+]
+
+# Topics are broad policy areas; each hashtag leans on one or two of them.
+TOPICS = ["economy", "welfare", "foreign-affairs", "environment"]
+
+TAG_TOPIC = np.array(
+    [
+        # economy  welfare  foreign  environment
+        [0.7, 0.1, 0.0, 0.2],   # infrastructure-rebuild
+        [0.9, 0.0, 0.0, 0.0],   # income-tax-reduction
+        [0.2, 0.8, 0.0, 0.0],   # social-security
+        [0.0, 0.0, 0.9, 0.0],   # foreign-policy
+        [0.1, 0.0, 0.8, 0.0],   # us-china-relation
+        [0.0, 0.9, 0.0, 0.1],   # healthcare-reform
+        [0.1, 0.0, 0.0, 0.9],   # climate-action
+        [0.2, 0.5, 0.0, 0.3],   # education-funding
+    ]
+)
+
+
+def build_retweet_network(seed: int = 7) -> TopicSocialGraph:
+    """A power-law re-tweet network whose communities care about different topics."""
+    return power_law_topic_graph(
+        num_vertices=800,
+        average_degree=6.0,
+        num_topics=len(TOPICS),
+        base_probability=0.25,
+        reciprocity=0.3,
+        seed=seed,
+    )
+
+
+def main() -> None:
+    graph = build_retweet_network()
+    model = TagTopicModel(TAG_TOPIC, tags=HASHTAGS)
+    engine = PitexEngine(graph, model, max_samples=300, index_samples=1500, seed=7)
+
+    # Two "candidates": the best-connected account and a mid-tier account.
+    degrees = graph.out_degrees()
+    front_runner = int(np.argmax(degrees))
+    mid_runner = int(np.argsort(degrees)[len(degrees) // 2])
+
+    for name, candidate in (("front-runner", front_runner), ("challenger", mid_runner)):
+        print(f"\n=== {name}: account {candidate} with {degrees[candidate]} followers ===")
+        result = engine.query(user=candidate, k=3, method="indexest+")
+        print(f"best 3 hashtags to push: {', '.join(result.tags)}")
+        print(f"estimated reach: {result.spread:.1f} accounts "
+              f"({result.evaluated_tag_sets} tag sets evaluated, "
+              f"{result.pruned_tag_sets} pruned)")
+
+        # How much worse would a uniformly "popular" message be?  Compare against
+        # the globally most frequent hashtags (a social-recommender style pick),
+        # estimated with the same index-based method for an apples-to-apples read.
+        popular = tuple(range(3))
+        popular_estimate = engine.estimate_influence(candidate, popular, method="indexest+")
+        print(f"for comparison, pushing {', '.join(HASHTAGS[t] for t in popular)} "
+              f"reaches ~{popular_estimate.value:.1f} accounts")
+
+
+if __name__ == "__main__":
+    main()

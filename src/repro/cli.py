@@ -1,0 +1,107 @@
+"""Command-line interface.
+
+Two sub-commands are provided::
+
+    pitex query --dataset lastfm --group mid --k 3 --method indexest+
+    pitex bench --experiment fig7 --preset smoke
+
+``query`` answers a handful of PITEX queries on a synthetic dataset and prints
+the selected tag sets; ``bench`` runs one (or all) of the table/figure drivers
+and prints the reproduced rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.config import BenchmarkConfig
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import BenchmarkHarness
+from repro.bench.reporting import format_table
+from repro.core.engine import METHODS, PitexEngine
+from repro.datasets.profiles import profile_names
+from repro.datasets.synthetic import load_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pitex",
+        description="PITEX reproduction: personalized social influential tags exploration",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="answer PITEX queries on a synthetic dataset")
+    query.add_argument("--dataset", choices=profile_names(), default="lastfm")
+    query.add_argument("--scale", type=float, default=0.3, help="dataset scale factor")
+    query.add_argument("--group", choices=("high", "mid", "low"), default="mid")
+    query.add_argument("--num-queries", type=int, default=3)
+    query.add_argument("--k", type=int, default=3)
+    query.add_argument("--method", choices=METHODS, default="indexest+")
+    query.add_argument("--epsilon", type=float, default=0.7)
+    query.add_argument("--delta", type=float, default=1000.0)
+    query.add_argument("--max-samples", type=int, default=300)
+    query.add_argument("--index-samples", type=int, default=800)
+    query.add_argument("--seed", type=int, default=2017)
+
+    bench = subparsers.add_parser("bench", help="run table/figure reproduction experiments")
+    bench.add_argument(
+        "--experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        default="all",
+        help="which table/figure to reproduce",
+    )
+    bench.add_argument("--preset", choices=("smoke", "default", "full"), default="smoke")
+    bench.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"dataset: {dataset.describe()}")
+    engine = PitexEngine(
+        dataset.graph,
+        dataset.model,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        max_samples=args.max_samples,
+        index_samples=args.index_samples,
+        default_k=args.k,
+        seed=args.seed,
+    )
+    users = dataset.workload(args.group, args.num_queries)
+    for user in users:
+        result = engine.query(user=user, k=args.k, method=args.method)
+        print(result.describe())
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    config = BenchmarkConfig.preset(args.preset)
+    if args.seed is not None:
+        config = config.with_overrides(seed=args.seed)
+    harness = BenchmarkHarness(config)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        driver = EXPERIMENTS[name]
+        result = driver(harness)
+        print(format_table(result))
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``pitex`` console script)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "bench":
+        return _run_bench(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The PITEX core: query answering on top of the samplers and indexes.
+
+* :mod:`repro.core.query` -- :class:`PitexQuery` / :class:`PitexResult` value
+  objects.
+* :mod:`repro.core.enumeration` -- the Sec. 4 enumeration framework
+  (Algorithm 1): evaluate every size-``k`` tag set with a pluggable estimator.
+* :mod:`repro.core.best_effort` -- best-effort exploration (Algorithm 5) with
+  the Lemma 8 upper bound to prune partial tag sets.
+* :mod:`repro.core.tim` -- the TIM-style tree-based baseline used as a
+  comparison method in Sec. 7.
+* :mod:`repro.core.engine` -- :class:`PitexEngine`, the public facade that
+  wires datasets, estimators, indexes and exploration strategies together.
+"""
+
+from repro.core.query import PitexQuery, PitexResult, TagSetEvaluation
+from repro.core.enumeration import EnumerationExplorer
+from repro.core.best_effort import BestEffortExplorer
+from repro.core.tim import TreeModelEstimator
+from repro.core.engine import PitexEngine, METHODS
+
+__all__ = [
+    "PitexQuery",
+    "PitexResult",
+    "TagSetEvaluation",
+    "EnumerationExplorer",
+    "BestEffortExplorer",
+    "TreeModelEstimator",
+    "PitexEngine",
+    "METHODS",
+]

@@ -1,0 +1,242 @@
+"""``PitexEngine``: the public facade of the library.
+
+The engine owns a graph, a tag-topic model and the accuracy parameters, builds
+estimators / indexes on demand and answers PITEX queries with any of the
+methods compared in the paper's experiments:
+
+=============  ================================================================
+method         description
+=============  ================================================================
+``mc``         enumeration + Monte-Carlo sampling (Sec. 4)
+``rr``         enumeration + Reverse-Reachable sampling (Sec. 4)
+``lazy``       enumeration + lazy propagation sampling (Sec. 5.1)
+``tim``        enumeration + the tree-model baseline (Sec. 7.1)
+``indexest``   RR-Graph index matching, Algorithm 3 (Sec. 6.1)
+``indexest+``  RR-Graph index with edge-cut pruning (Sec. 6.2)
+``delaymat``   delayed materialization, Algorithm 4 (Sec. 6.3)
+=============  ================================================================
+
+All methods run under either exhaustive enumeration or best-effort exploration
+(the paper's experiments run every method on top of best-effort; see Sec. 7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.best_effort import BestEffortExplorer
+from repro.core.enumeration import EnumerationExplorer
+from repro.core.query import PitexQuery, PitexResult
+from repro.core.tim import TreeModelEstimator
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import TopicSocialGraph
+from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
+from repro.index.pruning import PrunedIndexEstimator
+from repro.index.rr_index import IndexEstimator, RRGraphIndex
+from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
+from repro.sampling.lazy import LazyPropagationEstimator
+from repro.sampling.monte_carlo import MonteCarloEstimator
+from repro.sampling.reverse_reachable import ReverseReachableEstimator
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike, spawn_rng
+
+METHODS = ("mc", "rr", "lazy", "tim", "indexest", "indexest+", "delaymat")
+EXPLORATIONS = ("enumeration", "best-effort")
+
+
+class PitexEngine:
+    """End-to-end PITEX query answering.
+
+    Parameters
+    ----------
+    graph:
+        The topic-aware social graph.
+    model:
+        The tag-topic model.
+    epsilon, delta:
+        Accuracy parameters (defaults match the paper: 0.7 and 1000).
+    max_samples:
+        Practical cap on per-tag-set online samples and on offline RR-Graphs.
+    index_samples:
+        Number of RR-Graphs materialized by the offline indexes; defaults to
+        the capped Eqn. 7 value.
+    default_k:
+        Default number of tags per query.
+    seed:
+        Seed controlling every random choice of the engine.
+    """
+
+    def __init__(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        epsilon: float = 0.7,
+        delta: float = 1000.0,
+        max_samples: Optional[int] = 2000,
+        index_samples: Optional[int] = None,
+        default_k: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        if graph.num_topics != model.num_topics:
+            raise InvalidParameterError(
+                f"graph has {graph.num_topics} topics but the model has {model.num_topics}"
+            )
+        self.graph = graph
+        self.model = model
+        self.budget = SampleBudget(
+            epsilon=epsilon,
+            delta=delta,
+            k=default_k,
+            num_tags=model.num_tags,
+            max_samples=max_samples,
+        )
+        self._seed = spawn_rng(seed)
+        if index_samples is None:
+            index_samples = self.budget.offline_samples(graph.num_vertices)
+        self.index_samples = int(index_samples)
+        self._rr_index: Optional[RRGraphIndex] = None
+        self._delayed_index: Optional[DelayedMaterializationIndex] = None
+        self._estimators: Dict[Tuple[str, float, float, int], InfluenceEstimator] = {}
+
+    # ----------------------------------------------------------------- indexes
+    @property
+    def rr_index(self) -> RRGraphIndex:
+        """The materialized RR-Graph index, built on first access."""
+        if self._rr_index is None or not self._rr_index.is_built:
+            self._rr_index = RRGraphIndex(
+                self.graph, self.index_samples, seed=self._seed.spawn(101)
+            ).build()
+        return self._rr_index
+
+    @property
+    def delayed_index(self) -> DelayedMaterializationIndex:
+        """The delayed-materialization index, built on first access."""
+        if self._delayed_index is None or not self._delayed_index.is_built:
+            self._delayed_index = DelayedMaterializationIndex(
+                self.graph, self.index_samples, seed=self._seed.spawn(202)
+            ).build()
+        return self._delayed_index
+
+    def build_indexes(self) -> None:
+        """Eagerly build both offline indexes (otherwise built lazily)."""
+        _ = self.rr_index
+        _ = self.delayed_index
+
+    # -------------------------------------------------------------- estimators
+    def estimator(
+        self,
+        method: str,
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> InfluenceEstimator:
+        """Create (or fetch) the estimator behind ``method`` with the given accuracy."""
+        method = method.lower()
+        if method not in METHODS:
+            raise InvalidParameterError(f"unknown method {method!r}; choose from {METHODS}")
+        budget = self.budget.with_overrides(
+            epsilon=epsilon if epsilon is not None else self.budget.epsilon,
+            delta=delta if delta is not None else self.budget.delta,
+            k=k if k is not None else self.budget.k,
+        )
+        key = (method, budget.epsilon, budget.delta, budget.k)
+        cached = self._estimators.get(key)
+        if cached is not None:
+            return cached
+        seed = self._seed.spawn(hash(key) & 0xFFFF)
+        if method == "mc":
+            estimator: InfluenceEstimator = MonteCarloEstimator(self.graph, self.model, budget, seed)
+        elif method == "rr":
+            estimator = ReverseReachableEstimator(self.graph, self.model, budget, seed)
+        elif method == "lazy":
+            estimator = LazyPropagationEstimator(self.graph, self.model, budget, seed)
+        elif method == "tim":
+            estimator = TreeModelEstimator(self.graph, self.model, budget)
+        elif method == "indexest":
+            estimator = IndexEstimator(self.graph, self.model, self.rr_index, budget)
+        elif method == "indexest+":
+            estimator = PrunedIndexEstimator(self.graph, self.model, self.rr_index, budget)
+        else:  # delaymat
+            estimator = DelayedIndexEstimator(
+                self.graph, self.model, self.delayed_index, budget, seed=seed
+            )
+        self._estimators[key] = estimator
+        return estimator
+
+    # ------------------------------------------------------------------ query
+    def query(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        method: str = "indexest+",
+        exploration: str = "best-effort",
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+        candidate_tags: Optional[Iterable[int]] = None,
+        keep_evaluations: bool = False,
+    ) -> PitexResult:
+        """Answer one PITEX query.
+
+        Parameters
+        ----------
+        user:
+            Target user (vertex id).
+        k:
+            Number of tags to select (default: engine's ``default_k``).
+        method:
+            One of :data:`METHODS`.
+        exploration:
+            ``"best-effort"`` (default, with Lemma 8 pruning) or
+            ``"enumeration"`` (exhaustive).
+        epsilon, delta:
+            Per-query accuracy overrides.
+        candidate_tags:
+            Optional restriction of the tag vocabulary.
+        keep_evaluations:
+            Keep per-tag-set evaluations on the result.
+        """
+        if exploration not in EXPLORATIONS:
+            raise InvalidParameterError(
+                f"unknown exploration {exploration!r}; choose from {EXPLORATIONS}"
+            )
+        query = PitexQuery(
+            user=user,
+            k=k if k is not None else self.budget.k,
+            epsilon=epsilon if epsilon is not None else self.budget.epsilon,
+            delta=delta if delta is not None else self.budget.delta,
+        )
+        estimator = self.estimator(method, query.epsilon, query.delta, query.k)
+        if exploration == "enumeration":
+            explorer = EnumerationExplorer(self.model, estimator, keep_evaluations)
+            if candidate_tags is not None:
+                from itertools import combinations
+
+                candidates = combinations(sorted(self.model.resolve_tags(candidate_tags)), query.k)
+                return explorer.explore(query, candidates)
+            return explorer.explore(query)
+        explorer = BestEffortExplorer(
+            self.model, estimator, keep_evaluations=keep_evaluations
+        )
+        return explorer.explore(query, candidate_tags)
+
+    def estimate_influence(
+        self,
+        user: int,
+        tags: Iterable,
+        method: str = "lazy",
+        epsilon: Optional[float] = None,
+        delta: Optional[float] = None,
+    ) -> InfluenceEstimate:
+        """Estimate ``E[I(user|tags)]`` for one explicit tag set."""
+        estimator = self.estimator(method, epsilon, delta, None)
+        return estimator.estimate(user, self.model.resolve_tags(tags))
+
+    # ------------------------------------------------------------------ info
+    def describe(self) -> str:
+        """One-line description of the engine configuration."""
+        return (
+            f"PitexEngine(|V|={self.graph.num_vertices}, |E|={self.graph.num_edges}, "
+            f"|Z|={self.graph.num_topics}, |Omega|={self.model.num_tags}, "
+            f"eps={self.budget.epsilon}, delta={self.budget.delta}, "
+            f"index_samples={self.index_samples})"
+        )

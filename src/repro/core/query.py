@@ -1,0 +1,110 @@
+"""Value objects describing PITEX queries and their answers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class PitexQuery:
+    """A PITEX query: find the size-``k`` tag set maximizing ``E[I(user|W)]``.
+
+    Attributes
+    ----------
+    user:
+        The target user (vertex id) who is initially activated.
+    k:
+        Number of tags to select.
+    epsilon:
+        Relative error tolerance of the sampling estimates.
+    delta:
+        Inverse failure probability (the guarantee holds with probability
+        ``1 - 1/delta``); the paper's default is 1000.
+    """
+
+    user: int
+    k: int = 3
+    epsilon: float = 0.7
+    delta: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.user < 0:
+            raise InvalidParameterError(f"user must be a vertex id >= 0, got {self.user}")
+        if self.k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {self.k}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise InvalidParameterError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if self.delta <= 1.0:
+            raise InvalidParameterError(f"delta must exceed 1, got {self.delta}")
+
+
+@dataclass
+class TagSetEvaluation:
+    """The estimated influence of one candidate tag set."""
+
+    tag_ids: Tuple[int, ...]
+    spread: float
+    num_samples: int = 0
+    edges_visited: int = 0
+
+    def __lt__(self, other: "TagSetEvaluation") -> bool:
+        return self.spread < other.spread
+
+
+@dataclass
+class PitexResult:
+    """The answer to a PITEX query.
+
+    Attributes
+    ----------
+    query:
+        The query that produced this result.
+    tag_ids:
+        Ids of the selected tags, sorted ascending.
+    tags:
+        Human-readable tag strings, in the same order as ``tag_ids``.
+    spread:
+        The estimated influence spread of the selected tag set.
+    method:
+        Name of the method that produced the answer ("lazy", "indexest+", ...).
+    evaluated_tag_sets:
+        Number of candidate tag sets whose influence was actually estimated
+        (smaller than ``C(|Omega|, k)`` when pruning was effective).
+    pruned_tag_sets:
+        Number of candidate tag sets eliminated without estimation.
+    edges_visited:
+        Total edge probes across the whole query.
+    elapsed_seconds:
+        Wall-clock time of the query.
+    evaluations:
+        Optionally, the per-tag-set evaluations (top results first) when the
+        caller asked to keep them.
+    """
+
+    query: PitexQuery
+    tag_ids: Tuple[int, ...]
+    tags: Tuple[str, ...]
+    spread: float
+    method: str
+    evaluated_tag_sets: int = 0
+    pruned_tag_sets: int = 0
+    edges_visited: int = 0
+    elapsed_seconds: float = 0.0
+    evaluations: List[TagSetEvaluation] = field(default_factory=list)
+
+    def top(self, n: int = 5) -> List[TagSetEvaluation]:
+        """The ``n`` best evaluated tag sets (only populated when tracking is on)."""
+        return sorted(self.evaluations, key=lambda e: -e.spread)[:n]
+
+    def describe(self) -> str:
+        """A one-line human readable summary."""
+        tags = ", ".join(self.tags)
+        return (
+            f"user {self.query.user}: best {self.query.k}-tag set [{tags}] "
+            f"spread={self.spread:.3f} via {self.method} "
+            f"({self.evaluated_tag_sets} evaluated, {self.pruned_tag_sets} pruned, "
+            f"{self.elapsed_seconds * 1000:.1f} ms)"
+        )

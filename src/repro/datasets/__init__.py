@@ -1,0 +1,37 @@
+"""Dataset substrate: synthetic analogues of the paper's four datasets.
+
+The paper evaluates on lastfm, diggs, dblp and twitter with TIC/LDA-learned
+probabilities.  Those datasets (and the learned parameters) are not
+redistributable, so this package generates synthetic analogues whose structural
+knobs match Table 2: number of vertices (scaled down so pure Python remains
+interactive), edge density ``|E|/|V|``, number of topics ``|Z|``, vocabulary
+size ``|Omega|`` and the tag-topic density reported in Sec. 7.3.
+
+* :mod:`repro.datasets.profiles` -- the per-dataset parameter profiles.
+* :mod:`repro.datasets.synthetic` -- the generator and the
+  :class:`SyntheticDataset` bundle (graph + model + workload helper).
+* :mod:`repro.datasets.workload` -- query workload generation by out-degree
+  group (high / mid / low).
+* :mod:`repro.datasets.casestudy` -- the dblp-style researcher case study with
+  ground-truth field tags (Table 4).
+"""
+
+from repro.datasets.profiles import DatasetProfile, PROFILES, profile_names
+from repro.datasets.synthetic import SyntheticDataset, generate_dataset, load_dataset
+from repro.datasets.workload import QueryWorkload, build_workload
+from repro.datasets.casestudy import CaseStudy, Researcher, build_case_study, evaluate_case_study
+
+__all__ = [
+    "DatasetProfile",
+    "PROFILES",
+    "profile_names",
+    "SyntheticDataset",
+    "generate_dataset",
+    "load_dataset",
+    "QueryWorkload",
+    "build_workload",
+    "CaseStudy",
+    "Researcher",
+    "build_case_study",
+    "evaluate_case_study",
+]

@@ -1,0 +1,228 @@
+"""The dblp-style researcher case study (Table 4 of the paper).
+
+The paper selects eight well-known computer scientists, runs PITEX with k=5 on
+the dblp co-author graph (research fields as topics, conference keywords as
+tags) and asks human annotators whether the returned tags reflect each
+scientist's influential work.  Real dblp data and human annotators are not
+available offline, so this module builds a synthetic equivalent with a
+programmatic oracle:
+
+* topics are research fields, tags are field keywords with a known
+  field-of-origin;
+* eight "renowned researchers", each a hub of the communities of their primary
+  fields, plus field-specific community members co-authoring mostly inside
+  their own field;
+* the ground truth for a researcher is the set of keywords belonging to their
+  primary fields, and accuracy is the fraction of the k returned tags that land
+  in that ground-truth set -- the same ratio the human study computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike, spawn_rng
+
+#: Research fields (the case-study topics) and their keyword vocabulary.
+FIELD_KEYWORDS: Dict[str, List[str]] = {
+    "machine-learning": ["learning", "neural", "representation", "recognition", "inference"],
+    "data-mining": ["mining", "patterns", "clustering", "structures", "society"],
+    "databases": ["data", "management", "query", "storage", "transactions"],
+    "theory": ["complexity", "algorithms", "combinatorial", "foundations", "automata"],
+    "systems": ["systems", "distributed", "parallel", "dependable", "operating"],
+    "networks": ["internet", "communications", "routing", "wireless", "protocols"],
+    "vision": ["image", "video", "detection", "segmentation", "geometry"],
+    "nlp": ["language", "speech", "translation", "parsing", "semantics"],
+    "optimization": ["optimization", "programming", "convex", "scheduling", "approximation"],
+}
+
+
+@dataclass(frozen=True)
+class Researcher:
+    """One case-study researcher with their primary fields."""
+
+    name: str
+    fields: Tuple[str, ...]
+
+
+#: The eight researchers of Table 4 with the fields their paper tags suggest.
+RESEARCHERS: Tuple[Researcher, ...] = (
+    Researcher("Michael Jordan", ("machine-learning", "nlp")),
+    Researcher("Yann LeCun", ("machine-learning", "vision")),
+    Researcher("Jiawei Han", ("data-mining", "optimization")),
+    Researcher("Jure Leskovec", ("data-mining", "networks")),
+    Researcher("Michael Stonebraker", ("databases", "systems")),
+    Researcher("Jim Gray", ("databases", "systems")),
+    Researcher("Richard Karp", ("theory", "optimization")),
+    Researcher("Leslie Valiant", ("theory", "machine-learning")),
+)
+
+
+@dataclass
+class CaseStudy:
+    """The generated case-study instance."""
+
+    graph: TopicSocialGraph
+    model: TagTopicModel
+    researchers: Tuple[Researcher, ...]
+    researcher_vertex: Dict[str, int]
+    ground_truth_tags: Dict[str, Set[str]]
+    field_names: List[str]
+
+    def vertex_of(self, researcher_name: str) -> int:
+        """Vertex id of a researcher by name."""
+        return self.researcher_vertex[researcher_name]
+
+    def accuracy(self, researcher_name: str, returned_tags: Sequence[str]) -> float:
+        """Fraction of returned tags that belong to the researcher's ground truth."""
+        if not returned_tags:
+            return 0.0
+        truth = self.ground_truth_tags[researcher_name]
+        hits = sum(1 for tag in returned_tags if tag in truth)
+        return hits / float(len(returned_tags))
+
+
+def build_case_study(
+    members_per_field: int = 40,
+    followers_per_researcher: int = 35,
+    cross_field_probability: float = 0.05,
+    seed: SeedLike = None,
+) -> CaseStudy:
+    """Build the synthetic dblp-like case-study graph.
+
+    Layout: for each field a community of ``members_per_field`` researchers;
+    the eight renowned researchers are extra vertices that influence
+    ``followers_per_researcher`` members of each of their primary fields with
+    relatively high probability under the field's topic.  Community members
+    influence a few colleagues of their own field and occasionally someone
+    from another field.
+    """
+    rng = spawn_rng(seed)
+    field_names = list(FIELD_KEYWORDS)
+    num_topics = len(field_names)
+    field_index = {name: i for i, name in enumerate(field_names)}
+
+    # --- vocabulary -----------------------------------------------------------
+    tags: List[str] = []
+    tag_field: List[int] = []
+    for name in field_names:
+        for keyword in FIELD_KEYWORDS[name]:
+            tags.append(keyword)
+            tag_field.append(field_index[name])
+    matrix = np.zeros((len(tags), num_topics))
+    for tag_id, home in enumerate(tag_field):
+        matrix[tag_id, home] = rng.uniform(0.6, 1.0)
+        # Light cross-field leakage so the posterior is not degenerate.
+        other = rng.integer(0, num_topics)
+        if other != home:
+            matrix[tag_id, other] = rng.uniform(0.0, 0.15)
+    column_sums = matrix.sum(axis=0)
+    column_sums[column_sums == 0.0] = 1.0
+    matrix = matrix / column_sums
+
+    # --- vertices -------------------------------------------------------------
+    num_members = members_per_field * num_topics
+    researcher_names = [r.name for r in RESEARCHERS]
+    num_vertices = num_members + len(RESEARCHERS)
+    labels = [f"{field_names[v // members_per_field]}-member{v % members_per_field}" for v in range(num_members)]
+    labels.extend(researcher_names)
+    graph = TopicSocialGraph(num_vertices, num_topics, labels)
+    researcher_vertex = {name: num_members + i for i, name in enumerate(researcher_names)}
+
+    def member_vertices(field_name: str) -> List[int]:
+        start = field_index[field_name] * members_per_field
+        return list(range(start, start + members_per_field))
+
+    def field_probability_vector(field_name: str, strength: float) -> np.ndarray:
+        vector = np.zeros(num_topics)
+        vector[field_index[field_name]] = strength
+        return vector
+
+    # --- community edges ------------------------------------------------------
+    for field_name in field_names:
+        members = member_vertices(field_name)
+        for member in members:
+            colleagues = rng.choice(members, size=min(4, len(members)), replace=False)
+            for colleague in colleagues:
+                if colleague == member or graph.has_edge(member, colleague):
+                    continue
+                graph.add_edge(
+                    member, colleague, field_probability_vector(field_name, rng.uniform(0.05, 0.3))
+                )
+            if rng.uniform() < cross_field_probability:
+                other_field = field_names[rng.integer(0, num_topics)]
+                if other_field != field_name:
+                    target = member_vertices(other_field)[rng.integer(0, members_per_field)]
+                    if not graph.has_edge(member, target):
+                        graph.add_edge(
+                            member, target, field_probability_vector(other_field, rng.uniform(0.02, 0.1))
+                        )
+
+    # --- renowned researcher edges ---------------------------------------------
+    for researcher in RESEARCHERS:
+        vertex = researcher_vertex[researcher.name]
+        for field_name in researcher.fields:
+            members = member_vertices(field_name)
+            followers = rng.choice(
+                members, size=min(followers_per_researcher, len(members)), replace=False
+            )
+            for follower in followers:
+                if graph.has_edge(vertex, follower):
+                    continue
+                graph.add_edge(
+                    vertex,
+                    follower,
+                    field_probability_vector(field_name, rng.uniform(0.25, 0.6)),
+                )
+        # A couple of edges back from the community (low probability).
+        for field_name in researcher.fields:
+            members = member_vertices(field_name)
+            for _ in range(3):
+                member = members[rng.integer(0, len(members))]
+                if not graph.has_edge(member, vertex):
+                    graph.add_edge(
+                        member, vertex, field_probability_vector(field_name, rng.uniform(0.01, 0.05))
+                    )
+
+    model = TagTopicModel(matrix, tags=tags)
+    ground_truth = {
+        researcher.name: {
+            keyword
+            for field_name in researcher.fields
+            for keyword in FIELD_KEYWORDS[field_name]
+        }
+        for researcher in RESEARCHERS
+    }
+    return CaseStudy(
+        graph=graph,
+        model=model,
+        researchers=RESEARCHERS,
+        researcher_vertex=researcher_vertex,
+        ground_truth_tags=ground_truth,
+        field_names=field_names,
+    )
+
+
+def evaluate_case_study(
+    case_study: CaseStudy,
+    engine,
+    k: int = 5,
+    method: str = "indexest+",
+) -> List[Tuple[str, List[str], float]]:
+    """Run PITEX for every researcher and score against the ground truth.
+
+    Returns ``(researcher, returned_tags, accuracy)`` rows, the programmatic
+    analogue of Table 4.
+    """
+    rows: List[Tuple[str, List[str], float]] = []
+    for researcher in case_study.researchers:
+        vertex = case_study.vertex_of(researcher.name)
+        result = engine.query(user=vertex, k=k, method=method)
+        accuracy = case_study.accuracy(researcher.name, result.tags)
+        rows.append((researcher.name, list(result.tags), accuracy))
+    return rows

@@ -1,0 +1,130 @@
+"""Parameter profiles of the four evaluation datasets (Table 2).
+
+Each profile records the *published* statistics of the corresponding real
+dataset and a scaled-down default vertex count used by this reproduction.  The
+scale factor only shrinks ``|V|`` -- density, topic count, vocabulary size and
+tag-topic density are preserved because they are what drive the relative
+behaviour of the compared methods (pruning power, index hit rates, sampling
+cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Structural parameters of one dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset name as used in the paper (lastfm, diggs, dblp, twitter).
+    paper_vertices / paper_edges:
+        The |V| and |E| reported in Table 2.
+    num_topics / num_tags:
+        |Z| and |Omega| reported in Table 2.
+    tag_topic_density:
+        Fraction of non-zero ``p(w|z)`` entries reported in Sec. 7.3.
+    default_vertices:
+        The scaled-down |V| used by this reproduction's default runs.
+    reciprocity:
+        Probability of reciprocal (follow-back) edges in the generator; higher
+        for conversational networks, lower for broadcast ones.
+    base_probability:
+        Baseline influence probability before in-degree scaling.
+    """
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    num_topics: int
+    num_tags: int
+    tag_topic_density: float
+    default_vertices: int
+    reciprocity: float
+    base_probability: float
+
+    @property
+    def average_degree(self) -> float:
+        """The |E|/|V| density of Table 2, preserved at every scale."""
+        return self.paper_edges / self.paper_vertices
+
+    def scaled_vertices(self, scale: float = 1.0) -> int:
+        """Number of vertices after applying ``scale`` to the default size."""
+        if scale <= 0:
+            raise InvalidParameterError(f"scale must be positive, got {scale}")
+        return max(10, int(round(self.default_vertices * scale)))
+
+    def table2_row(self, scale: float = 1.0) -> tuple:
+        """``(name, |V|, |E|estimate, |E|/|V|, |Z|, |Omega|)`` for the Table 2 bench."""
+        vertices = self.scaled_vertices(scale)
+        edges = int(round(vertices * self.average_degree))
+        return (self.name, vertices, edges, self.average_degree, self.num_topics, self.num_tags)
+
+
+PROFILES: Dict[str, DatasetProfile] = {
+    "lastfm": DatasetProfile(
+        name="lastfm",
+        paper_vertices=1_300,
+        paper_edges=12_000,
+        num_topics=20,
+        num_tags=50,
+        tag_topic_density=0.16,
+        default_vertices=1_300,
+        reciprocity=0.5,
+        base_probability=0.25,
+    ),
+    "diggs": DatasetProfile(
+        name="diggs",
+        paper_vertices=15_000,
+        paper_edges=200_000,
+        num_topics=20,
+        num_tags=50,
+        tag_topic_density=0.08,
+        default_vertices=1_500,
+        reciprocity=0.4,
+        base_probability=0.2,
+    ),
+    "dblp": DatasetProfile(
+        name="dblp",
+        paper_vertices=500_000,
+        paper_edges=6_000_000,
+        num_topics=9,
+        num_tags=276,
+        tag_topic_density=0.32,
+        default_vertices=2_000,
+        reciprocity=0.8,
+        base_probability=0.2,
+    ),
+    "twitter": DatasetProfile(
+        name="twitter",
+        paper_vertices=10_000_000,
+        paper_edges=12_000_000,
+        num_topics=50,
+        num_tags=250,
+        tag_topic_density=0.17,
+        default_vertices=3_000,
+        reciprocity=0.2,
+        base_probability=0.3,
+    ),
+}
+
+
+def profile_names() -> List[str]:
+    """Names of the available dataset profiles, in the paper's order."""
+    return ["lastfm", "diggs", "dblp", "twitter"]
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a profile by name (case-insensitive)."""
+    key = name.lower()
+    if key not in PROFILES:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {sorted(PROFILES)}"
+        )
+    return PROFILES[key]

@@ -1,0 +1,145 @@
+"""Synthetic dataset generation matching the paper's dataset profiles.
+
+:func:`generate_dataset` (or the convenience :func:`load_dataset`) produces a
+:class:`SyntheticDataset`: a power-law topic-aware graph, a tag-topic model
+with the profile's tag-topic density, and a pre-computed query workload per
+out-degree group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.profiles import DatasetProfile, get_profile
+from repro.datasets.workload import QueryWorkload, build_workload
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import TopicSocialGraph
+from repro.graph.generators import power_law_topic_graph
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def make_tag_topic_matrix(
+    num_tags: int,
+    num_topics: int,
+    density: float,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Build a ``p(w|z)`` matrix with (approximately) the requested density.
+
+    Every tag receives at least one "home" topic with a large likelihood; extra
+    non-zero entries are added uniformly at random until the target density is
+    reached.  Columns are then normalized so each topic is a distribution over
+    tags, matching the convention of LDA-learned matrices.
+    """
+    if not 0.0 < density <= 1.0:
+        raise InvalidParameterError(f"density must lie in (0, 1], got {density}")
+    rng = spawn_rng(seed)
+    matrix = np.zeros((num_tags, num_topics))
+    for tag in range(num_tags):
+        home_topic = rng.integer(0, num_topics)
+        matrix[tag, home_topic] = rng.uniform(0.5, 1.0)
+    target_nonzero = int(round(density * num_tags * num_topics))
+    current_nonzero = int(np.count_nonzero(matrix))
+    attempts = 0
+    while current_nonzero < target_nonzero and attempts < 50 * num_tags * num_topics:
+        attempts += 1
+        tag = rng.integer(0, num_tags)
+        topic = rng.integer(0, num_topics)
+        if matrix[tag, topic] == 0.0:
+            matrix[tag, topic] = rng.uniform(0.05, 0.6)
+            current_nonzero += 1
+    column_sums = matrix.sum(axis=0)
+    column_sums[column_sums == 0.0] = 1.0
+    return matrix / column_sums
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated dataset: graph + model + workload, plus its profile."""
+
+    name: str
+    profile: DatasetProfile
+    graph: TopicSocialGraph
+    model: TagTopicModel
+    query_workload: QueryWorkload
+    seed: Optional[int] = None
+
+    def workload(self, group: str = "mid", num_queries: int = 10) -> List[int]:
+        """Query users drawn from the out-degree ``group`` ("high"/"mid"/"low")."""
+        return self.query_workload.users(group, num_queries)
+
+    def most_influential_user(self) -> int:
+        """The user with the largest out-degree (used by the Fig. 6 convergence runs)."""
+        degrees = self.graph.out_degrees()
+        return int(np.argmax(degrees))
+
+    def table2_row(self) -> tuple:
+        """``(name, |V|, |E|, |E|/|V|, |Z|, |Omega|)`` of the generated instance."""
+        return (
+            self.name,
+            self.graph.num_vertices,
+            self.graph.num_edges,
+            self.graph.density(),
+            self.graph.num_topics,
+            self.model.num_tags,
+        )
+
+    def describe(self) -> str:
+        """One-line summary of the generated instance."""
+        return (
+            f"{self.name}: |V|={self.graph.num_vertices} |E|={self.graph.num_edges} "
+            f"|Z|={self.graph.num_topics} |Omega|={self.model.num_tags} "
+            f"density={self.model.tag_topic_density():.2f}"
+        )
+
+
+def generate_dataset(
+    profile: DatasetProfile,
+    scale: float = 1.0,
+    num_tags: Optional[int] = None,
+    num_topics: Optional[int] = None,
+    seed: SeedLike = None,
+) -> SyntheticDataset:
+    """Generate a synthetic dataset from a profile.
+
+    ``num_tags`` / ``num_topics`` override the profile values (used by the
+    Fig. 12 scalability sweeps over |Omega| and |Z|).
+    """
+    rng = spawn_rng(seed)
+    vertices = profile.scaled_vertices(scale)
+    topics = num_topics if num_topics is not None else profile.num_topics
+    tags = num_tags if num_tags is not None else profile.num_tags
+    graph = power_law_topic_graph(
+        num_vertices=vertices,
+        average_degree=profile.average_degree,
+        num_topics=topics,
+        base_probability=profile.base_probability,
+        reciprocity=profile.reciprocity,
+        seed=rng.spawn(1),
+    )
+    matrix = make_tag_topic_matrix(tags, topics, profile.tag_topic_density, seed=rng.spawn(2))
+    model = TagTopicModel(matrix, tags=[f"{profile.name}-tag{i}" for i in range(tags)])
+    workload = build_workload(graph, seed=rng.spawn(3))
+    return SyntheticDataset(
+        name=profile.name,
+        profile=profile,
+        graph=graph,
+        model=model,
+        query_workload=workload,
+        seed=rng.seed,
+    )
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    num_tags: Optional[int] = None,
+    num_topics: Optional[int] = None,
+    seed: SeedLike = None,
+) -> SyntheticDataset:
+    """Generate the synthetic analogue of a named paper dataset."""
+    return generate_dataset(get_profile(name), scale, num_tags, num_topics, seed)

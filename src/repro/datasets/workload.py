@@ -1,0 +1,72 @@
+"""Query workload generation (Sec. 7.1).
+
+The paper filters users with no outgoing edge, splits the rest into three
+out-degree groups (top 1% = high, top 1-10% = mid, the rest = low) and runs 100
+random queries per group.  :class:`QueryWorkload` reproduces that grouping and
+draws reproducible query users per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.algorithms import out_degree_groups
+from repro.graph.digraph import TopicSocialGraph
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
+
+GROUPS = ("high", "mid", "low")
+
+
+@dataclass
+class QueryWorkload:
+    """Pre-computed out-degree groups plus a seeded sampler of query users."""
+
+    groups: Dict[str, List[int]]
+    _rng: RandomSource = field(repr=False, default_factory=lambda: spawn_rng(0))
+
+    def users(self, group: str, num_queries: int) -> List[int]:
+        """Draw ``num_queries`` query users from ``group`` (with replacement if needed)."""
+        group = group.lower()
+        if group not in GROUPS:
+            raise InvalidParameterError(f"group must be one of {GROUPS}, got {group!r}")
+        members = self.groups.get(group, [])
+        if not members:
+            raise InvalidParameterError(f"group {group!r} is empty for this graph")
+        if num_queries <= 0:
+            raise InvalidParameterError(f"num_queries must be positive, got {num_queries}")
+        if num_queries >= len(members):
+            # Not enough distinct members: cycle deterministically.
+            repeated = (members * ((num_queries // len(members)) + 1))[:num_queries]
+            return repeated
+        picked = set()
+        result: List[int] = []
+        while len(result) < num_queries:
+            candidate = members[self._rng.integer(0, len(members))]
+            if candidate not in picked:
+                picked.add(candidate)
+                result.append(candidate)
+        return result
+
+    def group_sizes(self) -> Dict[str, int]:
+        """Number of users in each group."""
+        return {name: len(members) for name, members in self.groups.items()}
+
+    def group_of(self, user: int) -> str:
+        """The group a given user belongs to ("unknown" if filtered out)."""
+        for name in GROUPS:
+            if user in self.groups.get(name, []):
+                return name
+        return "unknown"
+
+
+def build_workload(
+    graph: TopicSocialGraph,
+    high_fraction: float = 0.01,
+    mid_fraction: float = 0.10,
+    seed: SeedLike = None,
+) -> QueryWorkload:
+    """Group users by out-degree and wrap them in a :class:`QueryWorkload`."""
+    groups = out_degree_groups(graph, high_fraction, mid_fraction)
+    return QueryWorkload(groups=groups, _rng=spawn_rng(seed))

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the PITEX reproduction.
+
+All library-specific failures derive from :class:`PitexError` so callers can
+distinguish library problems from generic Python errors with a single except
+clause.
+"""
+
+from __future__ import annotations
+
+
+class PitexError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class InvalidParameterError(PitexError, ValueError):
+    """A public API entry point received an out-of-range or ill-typed argument."""
+
+
+class GraphError(PitexError):
+    """A graph operation failed (unknown vertex, duplicate edge, malformed file)."""
+
+
+class UnknownVertexError(GraphError, KeyError):
+    """The requested vertex does not exist in the graph."""
+
+
+class UnknownEdgeError(GraphError, KeyError):
+    """The requested edge does not exist in the graph."""
+
+
+class ModelError(PitexError):
+    """The topic/tag model is inconsistent with the graph or the query."""
+
+
+class UnknownTagError(ModelError, KeyError):
+    """The requested tag does not exist in the tag vocabulary."""
+
+
+class IndexError_(PitexError):
+    """An index structure was used before being built or with the wrong graph."""
+
+
+class IndexNotBuiltError(IndexError_):
+    """A query was issued against an index whose ``build`` method was not called."""
+
+
+class EstimationError(PitexError):
+    """An influence estimation could not be carried out."""

@@ -1,0 +1,269 @@
+"""Graph traversal algorithms used by the samplers, the index and the workload.
+
+Everything here operates on :class:`~repro.graph.digraph.TopicSocialGraph` and
+optionally on a per-edge probability vector (``p(e|W)``) so the same BFS code
+serves both "structural" reachability (which vertices could ever be influenced,
+``R_W(u)`` in the paper) and "live-edge" reachability inside sampled possible
+worlds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import TopicSocialGraph
+
+
+def forward_reachable(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_allowed: Optional[Callable[[int], bool]] = None,
+) -> Set[int]:
+    """Vertices reachable from ``source`` following out-edges.
+
+    ``edge_allowed`` optionally restricts traversal to a subset of edges (for
+    instance edges with ``p(e|W) > 0``, which yields the paper's ``R_W(u)``).
+    The source itself is always included.
+    """
+    visited = {source}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for edge_id in graph.out_edges(vertex):
+            if edge_allowed is not None and not edge_allowed(edge_id):
+                continue
+            _, target = graph.edge_endpoints(edge_id)
+            if target not in visited:
+                visited.add(target)
+                queue.append(target)
+    return visited
+
+
+def reverse_reachable(
+    graph: TopicSocialGraph,
+    target: int,
+    edge_allowed: Optional[Callable[[int], bool]] = None,
+) -> Set[int]:
+    """Vertices that can reach ``target`` following in-edges (reverse BFS)."""
+    visited = {target}
+    queue = deque([target])
+    while queue:
+        vertex = queue.popleft()
+        for edge_id in graph.in_edges(vertex):
+            if edge_allowed is not None and not edge_allowed(edge_id):
+                continue
+            source, _ = graph.edge_endpoints(edge_id)
+            if source not in visited:
+                visited.add(source)
+                queue.append(source)
+    return visited
+
+
+def reachable_with_probabilities(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_probabilities: Sequence[float],
+    threshold: float = 0.0,
+) -> Set[int]:
+    """``R_W(u)``: vertices reachable from ``source`` via edges with ``p(e|W) > threshold``."""
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    return forward_reachable(graph, source, lambda e: probabilities[e] > threshold)
+
+
+def reachable_subgraph_edges(
+    graph: TopicSocialGraph,
+    reachable: Set[int],
+) -> List[int]:
+    """``E_W(u)``: edge ids whose both endpoints lie inside ``reachable``."""
+    edges: List[int] = []
+    for vertex in reachable:
+        for edge_id in graph.out_edges(vertex):
+            _, target = graph.edge_endpoints(edge_id)
+            if target in reachable:
+                edges.append(edge_id)
+    return edges
+
+
+def live_edge_reachable(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_probabilities: Sequence[float],
+    uniform: Callable[[], float],
+) -> Tuple[Set[int], int]:
+    """One Monte-Carlo possible world: BFS over edges kept with probability ``p(e|W)``.
+
+    Returns the set of activated vertices and the number of edges probed, the
+    latter feeding the Fig. 13 instrumentation.
+    """
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    activated = {source}
+    queue = deque([source])
+    probes = 0
+    while queue:
+        vertex = queue.popleft()
+        for edge_id in graph.out_edges(vertex):
+            probability = probabilities[edge_id]
+            if probability <= 0.0:
+                continue
+            probes += 1
+            _, target = graph.edge_endpoints(edge_id)
+            if target in activated:
+                continue
+            if uniform() < probability:
+                activated.add(target)
+                queue.append(target)
+    return activated, probes
+
+
+def reverse_live_edge_reachable(
+    graph: TopicSocialGraph,
+    target: int,
+    edge_probabilities: Sequence[float],
+    uniform: Callable[[], float],
+) -> Tuple[Set[int], int]:
+    """One reverse possible world: vertices that reach ``target`` over live edges."""
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    reached = {target}
+    queue = deque([target])
+    probes = 0
+    while queue:
+        vertex = queue.popleft()
+        for edge_id in graph.in_edges(vertex):
+            probability = probabilities[edge_id]
+            if probability <= 0.0:
+                continue
+            probes += 1
+            source, _ = graph.edge_endpoints(edge_id)
+            if source in reached:
+                continue
+            if uniform() < probability:
+                reached.add(source)
+                queue.append(source)
+    return reached, probes
+
+
+def strongly_connected_components(graph: TopicSocialGraph) -> List[List[int]]:
+    """Strongly connected components via Tarjan's algorithm (iterative).
+
+    Used by dataset diagnostics and tests; not on any query hot path.
+    """
+    index_counter = [0]
+    stack: List[int] = []
+    lowlink: Dict[int, int] = {}
+    index: Dict[int, int] = {}
+    on_stack: Dict[int, bool] = {}
+    components: List[List[int]] = []
+
+    for root in graph.vertices():
+        if root in index:
+            continue
+        work = [(root, iter(graph.out_neighbors(root)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            vertex, neighbors = work[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in index:
+                    index[neighbor] = lowlink[neighbor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(neighbor)
+                    on_stack[neighbor] = True
+                    work.append((neighbor, iter(graph.out_neighbors(neighbor))))
+                    advanced = True
+                    break
+                if on_stack.get(neighbor, False):
+                    lowlink[vertex] = min(lowlink[vertex], index[neighbor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+            if lowlink[vertex] == index[vertex]:
+                component = []
+                while True:
+                    node = stack.pop()
+                    on_stack[node] = False
+                    component.append(node)
+                    if node == vertex:
+                        break
+                components.append(component)
+    return components
+
+
+def out_degree_groups(
+    graph: TopicSocialGraph,
+    high_fraction: float = 0.01,
+    mid_fraction: float = 0.10,
+) -> Dict[str, List[int]]:
+    """Partition users with outgoing edges into high / mid / low out-degree groups.
+
+    Mirrors the query workload of Sec. 7.1: users with no outgoing edge are
+    filtered; the top ``high_fraction`` by out-degree form the ``high`` group,
+    the next up to ``mid_fraction`` the ``mid`` group, and the rest ``low``.
+    """
+    degrees = graph.out_degrees()
+    candidates = [v for v in graph.vertices() if degrees[v] > 0]
+    if not candidates:
+        return {"high": [], "mid": [], "low": []}
+    ordered = sorted(candidates, key=lambda v: (-degrees[v], v))
+    n = len(ordered)
+    high_cut = max(1, int(round(n * high_fraction)))
+    mid_cut = max(high_cut + 1, int(round(n * mid_fraction)))
+    mid_cut = min(mid_cut, n)
+    groups = {
+        "high": ordered[:high_cut],
+        "mid": ordered[high_cut:mid_cut],
+        "low": ordered[mid_cut:],
+    }
+    if not groups["mid"]:
+        groups["mid"] = list(groups["high"])
+    if not groups["low"]:
+        groups["low"] = list(groups["mid"])
+    return groups
+
+
+def single_source_max_probability_paths(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_probabilities: Sequence[float],
+    probability_threshold: float = 1e-4,
+) -> Dict[int, float]:
+    """Best-path activation probabilities from ``source`` (Dijkstra on -log p).
+
+    This is the maximum-influence-path model used by the TIM/MIA-style tree
+    baseline: the probability that ``source`` activates ``v`` is approximated by
+    the most probable single path.  Paths whose probability drops below
+    ``probability_threshold`` are pruned, mirroring the influence-threshold
+    pruning of tree-based influence heuristics.
+    """
+    import heapq
+
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    best: Dict[int, float] = {source: 1.0}
+    heap: List[Tuple[float, int]] = [(-1.0, source)]
+    settled: Set[int] = set()
+    while heap:
+        negative_probability, vertex = heapq.heappop(heap)
+        path_probability = -negative_probability
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        for edge_id in graph.out_edges(vertex):
+            edge_probability = probabilities[edge_id]
+            if edge_probability <= 0.0:
+                continue
+            _, target = graph.edge_endpoints(edge_id)
+            candidate = path_probability * edge_probability
+            if candidate < probability_threshold:
+                continue
+            if candidate > best.get(target, 0.0):
+                best[target] = candidate
+                heapq.heappush(heap, (-candidate, target))
+    return best

@@ -1,0 +1,302 @@
+"""The topic-aware directed social graph.
+
+:class:`TopicSocialGraph` is the single graph type used throughout the library.
+It is an adjacency-list digraph over integer vertex ids ``0 .. n-1`` where each
+edge carries a vector of topic-conditioned influence probabilities ``p(e|z)``
+(Sec. 3.1 of the paper).  The class deliberately exposes only the operations
+the algorithms need -- neighbourhood iteration, per-edge probability lookups
+and the vectorized ``p(e|W)`` computation -- and keeps the storage simple
+(Python lists for adjacency, one ``numpy`` row per edge for probabilities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, UnknownEdgeError, UnknownVertexError
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge with its identifier and endpoints."""
+
+    edge_id: int
+    source: int
+    target: int
+
+
+class TopicSocialGraph:
+    """Directed social graph with topic-aware edge probabilities.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertices are the integers ``0 .. num_vertices - 1``.
+    num_topics:
+        Length of the ``p(e|z)`` vector attached to every edge.
+    vertex_labels:
+        Optional human-readable labels (user names, researcher names) used by
+        the examples and the case study.
+
+    Notes
+    -----
+    * Parallel edges are rejected -- the paper's model attaches a single
+      probability vector per ordered user pair.
+    * Self loops are rejected -- they never contribute to influence spread.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_topics: int,
+        vertex_labels: Optional[Sequence[str]] = None,
+    ) -> None:
+        if num_vertices <= 0:
+            raise GraphError(f"num_vertices must be positive, got {num_vertices}")
+        if num_topics <= 0:
+            raise GraphError(f"num_topics must be positive, got {num_topics}")
+        self._num_vertices = int(num_vertices)
+        self._num_topics = int(num_topics)
+        self._out: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._in: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._edge_source: List[int] = []
+        self._edge_target: List[int] = []
+        self._edge_lookup: Dict[Tuple[int, int], int] = {}
+        self._edge_probs: List[np.ndarray] = []
+        self._prob_matrix: Optional[np.ndarray] = None
+        self._max_probs: Optional[np.ndarray] = None
+        if vertex_labels is not None:
+            if len(vertex_labels) != num_vertices:
+                raise GraphError(
+                    f"expected {num_vertices} vertex labels, got {len(vertex_labels)}"
+                )
+            self.vertex_labels = list(vertex_labels)
+        else:
+            self.vertex_labels = [f"u{i}" for i in range(num_vertices)]
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return len(self._edge_source)
+
+    @property
+    def num_topics(self) -> int:
+        """Number of topics ``|Z|`` carried by each edge."""
+        return self._num_topics
+
+    def vertices(self) -> range:
+        """Iterable of all vertex ids."""
+        return range(self._num_vertices)
+
+    # ------------------------------------------------------------- validation
+    def _check_vertex(self, vertex: int) -> int:
+        if not 0 <= vertex < self._num_vertices:
+            raise UnknownVertexError(f"vertex {vertex} not in graph of size {self._num_vertices}")
+        return vertex
+
+    # --------------------------------------------------------------- mutation
+    def add_edge(self, source: int, target: int, topic_probabilities: Sequence[float]) -> int:
+        """Add a directed edge with its ``p(e|z)`` vector and return its id."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            raise GraphError(f"self loop ({source}, {target}) is not allowed")
+        if (source, target) in self._edge_lookup:
+            raise GraphError(f"edge ({source}, {target}) already exists")
+        probs = np.asarray(topic_probabilities, dtype=float)
+        if probs.shape != (self._num_topics,):
+            raise GraphError(
+                f"expected {self._num_topics} topic probabilities, got shape {probs.shape}"
+            )
+        if np.any(probs < 0.0) or np.any(probs > 1.0):
+            raise GraphError(f"edge probabilities must lie in [0, 1], got {probs}")
+        edge_id = len(self._edge_source)
+        self._edge_source.append(source)
+        self._edge_target.append(target)
+        self._edge_lookup[(source, target)] = edge_id
+        self._edge_probs.append(probs)
+        self._out[source].append(edge_id)
+        self._in[target].append(edge_id)
+        self._prob_matrix = None
+        self._max_probs = None
+        return edge_id
+
+    # ----------------------------------------------------------------- access
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether the directed edge ``(source, target)`` exists."""
+        return (source, target) in self._edge_lookup
+
+    def edge_id(self, source: int, target: int) -> int:
+        """The id of edge ``(source, target)``; raises if missing."""
+        try:
+            return self._edge_lookup[(source, target)]
+        except KeyError as exc:
+            raise UnknownEdgeError(f"edge ({source}, {target}) does not exist") from exc
+
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]:
+        """The ``(source, target)`` pair of an edge id."""
+        if not 0 <= edge_id < self.num_edges:
+            raise UnknownEdgeError(f"edge id {edge_id} out of range")
+        return self._edge_source[edge_id], self._edge_target[edge_id]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges."""
+        for edge_id in range(self.num_edges):
+            yield Edge(edge_id, self._edge_source[edge_id], self._edge_target[edge_id])
+
+    def out_edges(self, vertex: int) -> List[int]:
+        """Edge ids leaving ``vertex``."""
+        self._check_vertex(vertex)
+        return self._out[vertex]
+
+    def in_edges(self, vertex: int) -> List[int]:
+        """Edge ids entering ``vertex``."""
+        self._check_vertex(vertex)
+        return self._in[vertex]
+
+    def out_neighbors(self, vertex: int) -> List[int]:
+        """Vertices directly influenced by ``vertex``."""
+        self._check_vertex(vertex)
+        return [self._edge_target[e] for e in self._out[vertex]]
+
+    def in_neighbors(self, vertex: int) -> List[int]:
+        """Vertices that directly influence ``vertex``."""
+        self._check_vertex(vertex)
+        return [self._edge_source[e] for e in self._in[vertex]]
+
+    def out_degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex``."""
+        self._check_vertex(vertex)
+        return len(self._out[vertex])
+
+    def in_degree(self, vertex: int) -> int:
+        """In-degree of ``vertex``."""
+        self._check_vertex(vertex)
+        return len(self._in[vertex])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of out-degrees for every vertex."""
+        return np.array([len(adj) for adj in self._out], dtype=np.int64)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of in-degrees for every vertex."""
+        return np.array([len(adj) for adj in self._in], dtype=np.int64)
+
+    # ----------------------------------------------------------- probabilities
+    def topic_probabilities(self, edge_id: int) -> np.ndarray:
+        """The ``p(e|z)`` vector of an edge."""
+        if not 0 <= edge_id < self.num_edges:
+            raise UnknownEdgeError(f"edge id {edge_id} out of range")
+        return self._edge_probs[edge_id]
+
+    @property
+    def probability_matrix(self) -> np.ndarray:
+        """All edge probability vectors stacked into a ``(|E|, |Z|)`` matrix."""
+        if self._prob_matrix is None or self._prob_matrix.shape[0] != self.num_edges:
+            if self.num_edges == 0:
+                self._prob_matrix = np.zeros((0, self._num_topics))
+            else:
+                self._prob_matrix = np.vstack(self._edge_probs)
+        return self._prob_matrix
+
+    def max_edge_probabilities(self) -> np.ndarray:
+        """``p(e) = max_z p(e|z)`` per edge (Definition 2 uses this bound)."""
+        if self._max_probs is None or self._max_probs.shape[0] != self.num_edges:
+            matrix = self.probability_matrix
+            self._max_probs = matrix.max(axis=1) if matrix.size else np.zeros(0)
+        return self._max_probs
+
+    def max_edge_probability(self, edge_id: int) -> float:
+        """``p(e)`` for a single edge."""
+        return float(self.max_edge_probabilities()[edge_id])
+
+    def edge_probabilities_under(self, topic_posterior: Sequence[float]) -> np.ndarray:
+        """Vector of ``p(e|W) = sum_z p(e|z) p(z|W)`` for every edge.
+
+        ``topic_posterior`` is the ``p(z|W)`` vector computed by the tag-topic
+        model (:meth:`repro.topics.TagTopicModel.topic_posterior`).
+        """
+        posterior = np.asarray(topic_posterior, dtype=float)
+        if posterior.shape != (self._num_topics,):
+            raise GraphError(
+                f"topic posterior must have length {self._num_topics}, got {posterior.shape}"
+            )
+        if self.num_edges == 0:
+            return np.zeros(0)
+        return self.probability_matrix @ posterior
+
+    def edge_probability_under(self, edge_id: int, topic_posterior: Sequence[float]) -> float:
+        """``p(e|W)`` for a single edge."""
+        posterior = np.asarray(topic_posterior, dtype=float)
+        return float(self.topic_probabilities(edge_id) @ posterior)
+
+    # ------------------------------------------------------------------ labels
+    def label_of(self, vertex: int) -> str:
+        """Human-readable label of a vertex."""
+        self._check_vertex(vertex)
+        return self.vertex_labels[vertex]
+
+    def vertex_by_label(self, label: str) -> int:
+        """Vertex id whose label equals ``label`` (first match)."""
+        try:
+            return self.vertex_labels.index(label)
+        except ValueError as exc:
+            raise UnknownVertexError(f"no vertex with label {label!r}") from exc
+
+    # ---------------------------------------------------------------- utility
+    def copy(self) -> "TopicSocialGraph":
+        """A deep copy of the graph."""
+        clone = TopicSocialGraph(self._num_vertices, self._num_topics, self.vertex_labels)
+        for edge in self.edges():
+            clone.add_edge(edge.source, edge.target, self._edge_probs[edge.edge_id])
+        return clone
+
+    def subgraph_with_min_probability(self, threshold: float) -> "TopicSocialGraph":
+        """A copy keeping only edges whose max probability exceeds ``threshold``."""
+        clone = TopicSocialGraph(self._num_vertices, self._num_topics, self.vertex_labels)
+        max_probs = self.max_edge_probabilities()
+        for edge in self.edges():
+            if max_probs[edge.edge_id] > threshold:
+                clone.add_edge(edge.source, edge.target, self._edge_probs[edge.edge_id])
+        return clone
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint, used for index-size accounting."""
+        adjacency = sum(len(adj) for adj in self._out) + sum(len(adj) for adj in self._in)
+        edge_arrays = 2 * self.num_edges * 8
+        probability_bytes = self.num_edges * self._num_topics * 8
+        return adjacency * 8 + edge_arrays + probability_bytes
+
+    def density(self) -> float:
+        """Average degree ``|E| / |V|`` reported in Table 2."""
+        return self.num_edges / self._num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopicSocialGraph(|V|={self._num_vertices}, |E|={self.num_edges}, "
+            f"|Z|={self._num_topics})"
+        )
+
+    # ------------------------------------------------------------- construction
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        num_topics: int,
+        edges: Iterable[Tuple[int, int, Sequence[float]]],
+        vertex_labels: Optional[Sequence[str]] = None,
+    ) -> "TopicSocialGraph":
+        """Build a graph from an iterable of ``(source, target, p(e|z))`` triples."""
+        graph = cls(num_vertices, num_topics, vertex_labels)
+        for source, target, probabilities in edges:
+            graph.add_edge(source, target, probabilities)
+        return graph

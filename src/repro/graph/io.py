@@ -1,0 +1,83 @@
+"""Plain-text serialization of topic-aware social graphs.
+
+The format is a small, self-describing edge list::
+
+    # pitex-graph v1
+    # vertices <n> topics <z>
+    # label <vertex_id> <label>          (optional, one per labelled vertex)
+    <source> <target> <p(e|z1)> <p(e|z2)> ... <p(e|z_{|Z|})>
+
+The format exists so the synthetic datasets and case-study graphs can be dumped
+to disk, inspected, versioned and re-loaded by the benchmark harness without
+re-generating them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import TopicSocialGraph
+
+_HEADER = "# pitex-graph v1"
+
+
+def save_edge_list(graph: TopicSocialGraph, path: Union[str, os.PathLike]) -> None:
+    """Write ``graph`` to ``path`` in the pitex edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{_HEADER}\n")
+        handle.write(f"# vertices {graph.num_vertices} topics {graph.num_topics}\n")
+        for vertex in graph.vertices():
+            label = graph.label_of(vertex)
+            if label != f"u{vertex}":
+                handle.write(f"# label {vertex} {label}\n")
+        for edge in graph.edges():
+            probabilities = graph.topic_probabilities(edge.edge_id)
+            values = " ".join(f"{p:.10g}" for p in probabilities)
+            handle.write(f"{edge.source} {edge.target} {values}\n")
+
+
+def load_edge_list(path: Union[str, os.PathLike]) -> TopicSocialGraph:
+    """Read a graph previously written by :func:`save_edge_list`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    if not lines or not lines[0].startswith(_HEADER):
+        raise GraphError(f"{path!s} is not a pitex edge-list file")
+
+    num_vertices = None
+    num_topics = None
+    labels = {}
+    edge_lines = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# vertices"):
+            parts = line.split()
+            num_vertices = int(parts[2])
+            num_topics = int(parts[4])
+        elif line.startswith("# label"):
+            parts = line.split(maxsplit=3)
+            labels[int(parts[2])] = parts[3]
+        elif line.startswith("#"):
+            continue
+        else:
+            edge_lines.append(line)
+
+    if num_vertices is None or num_topics is None:
+        raise GraphError(f"{path!s} is missing the '# vertices ... topics ...' header")
+
+    vertex_labels = [labels.get(v, f"u{v}") for v in range(num_vertices)]
+    graph = TopicSocialGraph(num_vertices, num_topics, vertex_labels)
+    for line in edge_lines:
+        parts = line.split()
+        if len(parts) != 2 + num_topics:
+            raise GraphError(
+                f"malformed edge line (expected {2 + num_topics} fields): {line!r}"
+            )
+        source = int(parts[0])
+        target = int(parts[1])
+        probabilities = [float(p) for p in parts[2:]]
+        graph.add_edge(source, target, probabilities)
+    return graph

@@ -1,0 +1,251 @@
+"""Delayed materialization of RR-Graphs (Sec. 6.3, Algorithm 4, ``DelayMat``).
+
+Materializing the full RR-Graph index costs memory proportional to the total
+size of all sampled graphs (Table 3 shows gigabytes for the larger datasets).
+Delayed materialization stores only, per user, *how many* of the offline
+RR-Graphs contained that user (``theta(u)``) plus the global sample count
+``theta``; at query time, ``theta(u)`` RR-Graphs containing the query user are
+*recovered* with the Algorithm 4 procedure:
+
+1. draw a forward live-edge sample from the user under the maximum edge
+   probabilities ``p(e)`` (the lazy sampler provides this);
+2. uniformly pick a root ``v'`` among the activated vertices;
+3. keep the activated vertices that reach ``v'`` through the live edges, and
+4. re-draw each kept edge's ``c(e)`` uniformly in ``[0, p(e))``.
+
+Theorem 3 shows the recovered graphs follow the same distribution as the
+offline RR-Graphs conditioned on containing the user, so the estimate keeps the
+Algorithm 3 guarantee while the stored index shrinks to one counter per user.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.digraph import TopicSocialGraph
+from repro.index.pruning import choose_edge_cut
+from repro.index.rr_graph import RRGraph, generate_rr_graph, tag_aware_reachable
+from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
+from repro.utils.timer import Stopwatch
+
+
+class DelayedMaterializationIndex:
+    """Offline phase of ``DelayMat``: count containment, store no graphs."""
+
+    def __init__(self, graph: TopicSocialGraph, num_samples: int, seed: SeedLike = None) -> None:
+        self.graph = graph
+        self.num_samples = int(num_samples)
+        self._rng = spawn_rng(seed)
+        self.containment_counts: Dict[int, int] = {}
+        self.build_seconds: float = 0.0
+        self._built = False
+
+    def build(self) -> "DelayedMaterializationIndex":
+        """Sample ``theta`` RR-Graphs, record only per-user containment counts."""
+        watch = Stopwatch().start()
+        max_probabilities = self.graph.max_edge_probabilities()
+        self.containment_counts = {}
+        for _ in range(self.num_samples):
+            root = self._rng.integer(0, self.graph.num_vertices)
+            rr_graph = generate_rr_graph(self.graph, root, self._rng, max_probabilities)
+            for vertex in rr_graph.vertices:
+                self.containment_counts[vertex] = self.containment_counts.get(vertex, 0) + 1
+        self._built = True
+        watch.stop()
+        self.build_seconds = watch.elapsed
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    def containment_count(self, user: int) -> int:
+        """``theta(u)``: number of offline RR-Graphs that contained ``user``."""
+        if not self._built:
+            raise IndexNotBuiltError("DelayedMaterializationIndex.build() must be called first")
+        return self.containment_counts.get(user, 0)
+
+    def memory_bytes(self) -> int:
+        """Footprint: one integer per user with non-zero containment."""
+        if not self._built:
+            raise IndexNotBuiltError("DelayedMaterializationIndex.build() must be called first")
+        return 16 * len(self.containment_counts)
+
+    # ----------------------------------------------------------------- recover
+    def recover_rr_graph(self, user: int, rng: Optional[RandomSource] = None) -> RRGraph:
+        """Algorithm 4: recover one RR-Graph containing ``user``."""
+        rng = rng if rng is not None else self._rng
+        max_probabilities = self.graph.max_edge_probabilities()
+        # 1) forward live-edge sample from the user under p(e).
+        activated: Set[int] = {user}
+        live_edges: List[int] = []
+        queue = deque([user])
+        while queue:
+            vertex = queue.popleft()
+            for edge_id in self.graph.out_edges(vertex):
+                maximum = max_probabilities[edge_id]
+                if maximum <= 0.0:
+                    continue
+                if rng.uniform() < maximum:
+                    live_edges.append(edge_id)
+                    _, target = self.graph.edge_endpoints(edge_id)
+                    if target not in activated:
+                        activated.add(target)
+                        queue.append(target)
+        # 2) uniform root among the activated vertices.
+        activated_list = sorted(activated)
+        root = activated_list[rng.integer(0, len(activated_list))]
+        # 3) keep activated vertices that reach the root through live edges.
+        live_by_target: Dict[int, List[int]] = {}
+        for edge_id in live_edges:
+            source, target = self.graph.edge_endpoints(edge_id)
+            if source in activated and target in activated:
+                live_by_target.setdefault(target, []).append(edge_id)
+        members = {root}
+        queue = deque([root])
+        while queue:
+            vertex = queue.popleft()
+            for edge_id in live_by_target.get(vertex, []):
+                source, _ = self.graph.edge_endpoints(edge_id)
+                if source not in members:
+                    members.add(source)
+                    queue.append(source)
+        # 4) re-draw c(e) uniformly in [0, p(e)) for kept edges between members.
+        #    The recovered graph carries |V'| as an importance weight: the true
+        #    conditional distribution of "an offline RR-Graph containing u"
+        #    weights forward worlds proportionally to their activated size,
+        #    while the Algorithm 4 proposal draws every world with its plain
+        #    probability, so the self-normalized weight |V'| corrects the gap
+        #    (see DESIGN.md, "DelayMat recovery weighting").
+        rr_graph = RRGraph(root=root, vertices=members, recovery_weight=float(len(activated)))
+        for edge_id in live_edges:
+            source, target = self.graph.edge_endpoints(edge_id)
+            if source in members and target in members:
+                threshold = rng.uniform(0.0, max_probabilities[edge_id])
+                rr_graph.add_edge(edge_id, source, target, threshold)
+        return rr_graph
+
+    def recover_for_user(self, user: int, rng: Optional[RandomSource] = None) -> List[RRGraph]:
+        """Recover ``theta(u)`` RR-Graphs for ``user`` (query phase of DelayMat)."""
+        count = self.containment_count(user)
+        return [self.recover_rr_graph(user, rng) for _ in range(count)]
+
+
+class DelayedIndexEstimator(InfluenceEstimator):
+    """The ``DelayMat`` estimator: recover-then-match with optional cut pruning.
+
+    The recovered graphs are cached per user so the many tag-set evaluations of
+    one PITEX exploration pay the recovery cost only once -- mirroring the
+    paper's query-phase behaviour where recovery happens once per query user.
+    """
+
+    name = "delaymat"
+
+    def __init__(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        index: DelayedMaterializationIndex,
+        budget: Optional[SampleBudget] = None,
+        use_pruning: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(graph, model, budget)
+        if index.graph is not graph:
+            raise IndexNotBuiltError("the index was built for a different graph instance")
+        self.index = index
+        self.use_pruning = use_pruning
+        self._rng = spawn_rng(seed)
+        self._recovered: Dict[int, List[RRGraph]] = {}
+        self._filters: Dict[int, Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]] = {}
+
+    # ---------------------------------------------------------------- recover
+    def _graphs_for(self, user: int) -> List[RRGraph]:
+        graphs = self._recovered.get(user)
+        if graphs is None:
+            graphs = self.index.recover_for_user(user, self._rng)
+            self._recovered[user] = graphs
+        return graphs
+
+    def _filter_for(self, user: int):
+        cached = self._filters.get(user)
+        if cached is not None:
+            return cached
+        max_probabilities = self.graph.max_edge_probabilities()
+        inverted: Dict[int, List[Tuple[float, int]]] = {}
+        always: Set[int] = set()
+        for position, rr_graph in enumerate(self._graphs_for(user)):
+            cut = choose_edge_cut(rr_graph, user, position, max_probabilities)
+            if cut.always_live:
+                always.add(position)
+                continue
+            if not cut.entries:
+                continue
+            for edge_id, threshold in cut.entries:
+                inverted.setdefault(edge_id, []).append((threshold, position))
+        for postings in inverted.values():
+            postings.sort()
+        self._filters[user] = (inverted, always)
+        return inverted, always
+
+    # --------------------------------------------------------------- estimate
+    def estimate_with_probabilities(
+        self,
+        user: int,
+        edge_probabilities: Sequence[float],
+        num_samples: Optional[int] = None,
+    ) -> InfluenceEstimate:
+        """Recover (cached) RR-Graphs for the user and count live matches."""
+        graphs = self._graphs_for(user)
+        probabilities = np.asarray(edge_probabilities, dtype=float)
+        checked_edges = 0
+        if not graphs:
+            return InfluenceEstimate(
+                value=0.0, num_samples=0, edges_visited=0, reachable_size=0, method=self.name
+            )
+        if self.use_pruning:
+            inverted, always = self._filter_for(user)
+            candidates: Set[int] = set(always)
+            for edge_id, postings in inverted.items():
+                probability = probabilities[edge_id]
+                if probability <= 0.0:
+                    continue
+                for threshold, position in postings:
+                    checked_edges += 1
+                    if threshold > probability:
+                        break
+                    candidates.add(position)
+        else:
+            candidates = set(range(len(graphs)))
+        # Self-normalized importance estimate of the conditional reach probability.
+        total_weight = float(sum(rr.recovery_weight for rr in graphs))
+        hit_weight = 0.0
+        hits = 0
+        for position in candidates:
+            reachable, checked = tag_aware_reachable(graphs[position], user, probabilities)
+            checked_edges += checked
+            if reachable:
+                hits += 1
+                hit_weight += graphs[position].recovery_weight
+        reach_fraction = hit_weight / total_weight if total_weight > 0 else 0.0
+        containment_fraction = len(graphs) / float(self.index.num_samples)
+        value = containment_fraction * reach_fraction * self.graph.num_vertices
+        return InfluenceEstimate(
+            value=value,
+            num_samples=len(candidates),
+            edges_visited=checked_edges,
+            reachable_size=len(graphs),
+            method=self.name,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop recovered graphs (e.g. between unrelated query batches)."""
+        self._recovered.clear()
+        self._filters.clear()

@@ -1,0 +1,228 @@
+"""Edge-cut pruning and the filter-and-verify estimator ``IndexEst+`` (Sec. 6.2).
+
+Verifying tag-aware reachability in every RR-Graph containing the query user
+requires one BFS per RR-Graph per candidate tag set.  The filter step avoids
+most of those BFS traversals:
+
+1.  For every RR-Graph containing the user, an *edge cut* is selected -- a set
+    of stored edges such that the user can only reach the root if at least one
+    cut edge is live.  Two candidate cuts are compared (the user's out-edges
+    inside the RR-Graph vs. the root's in-edges from vertices the user can
+    structurally reach) and the one with the higher estimated pruning
+    probability wins, following Example 7 of the paper.
+2.  An inverted index maps each edge id to the RR-Graphs whose chosen cut
+    contains it, sorted by the stored ``c(e)`` ascending.  Given a tag set, the
+    scan of each posting list stops as soon as ``c(e) > p(e|W)``; RR-Graphs
+    never reached by any scan are pruned without being traversed.
+3.  Only the surviving candidates are verified with the Definition 3 BFS.
+
+The per-user cut/inverted-list structures are built lazily on the first query
+of a user and cached, since the same user typically evaluates many tag sets
+during one PITEX exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.digraph import TopicSocialGraph
+from repro.index.rr_graph import RRGraph, structurally_reachable, tag_aware_reachable
+from repro.index.rr_index import RRGraphIndex
+from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
+from repro.topics.model import TagTopicModel
+
+
+@dataclass
+class EdgeCut:
+    """An edge cut for one (user, RR-Graph) pair.
+
+    ``entries`` are ``(edge_id, threshold)`` pairs: the user can only reach the
+    root if at least one listed edge has ``p(e|W) >= threshold``.  ``always_live``
+    marks degenerate cases (the user *is* the root) where no cut can prune.
+    """
+
+    rr_index: int
+    entries: List[Tuple[int, float]] = field(default_factory=list)
+    always_live: bool = False
+
+    def pruning_probability(self, max_probabilities: np.ndarray) -> float:
+        """Heuristic probability that every cut edge stays dead.
+
+        Assuming ``p(e|W)`` uniform in ``[0, p(e)]`` (Example 7), an edge stays
+        dead with probability ``c(e) / p(e)`` (capped at 1); the cut prunes when
+        all of its edges stay dead.
+        """
+        if self.always_live:
+            return 0.0
+        if not self.entries:
+            return 1.0
+        probability = 1.0
+        for edge_id, threshold in self.entries:
+            maximum = max_probabilities[edge_id]
+            if maximum <= 0.0:
+                continue
+            probability *= min(1.0, threshold / maximum)
+        return probability
+
+
+def build_edge_cut(rr_graph: RRGraph, user: int, rr_index: int, side: str) -> EdgeCut:
+    """Build one of the two candidate cuts for ``user`` in ``rr_graph``.
+
+    ``side="source"`` takes the user's out-edges stored in the RR-Graph
+    (every stored vertex reaches the root, so any path leaves through one of
+    them).  ``side="target"`` takes the root's in-edges whose sources are
+    structurally reachable from the user.
+    """
+    if user == rr_graph.root:
+        return EdgeCut(rr_index=rr_index, always_live=True)
+    if side == "source":
+        entries = [
+            (rr_graph.edge_ids[i], rr_graph.edge_thresholds[i])
+            for i in rr_graph.out_edges_of(user)
+        ]
+        return EdgeCut(rr_index=rr_index, entries=entries)
+    if side == "target":
+        reachable = structurally_reachable(rr_graph, user)
+        entries = [
+            (rr_graph.edge_ids[i], rr_graph.edge_thresholds[i])
+            for i in rr_graph.in_edges_of(rr_graph.root)
+            if rr_graph.edge_sources[i] in reachable
+        ]
+        return EdgeCut(rr_index=rr_index, entries=entries)
+    raise ValueError(f"side must be 'source' or 'target', got {side!r}")
+
+
+def choose_edge_cut(
+    rr_graph: RRGraph,
+    user: int,
+    rr_index: int,
+    max_probabilities: np.ndarray,
+) -> EdgeCut:
+    """Pick the candidate cut with the higher estimated pruning probability."""
+    source_cut = build_edge_cut(rr_graph, user, rr_index, "source")
+    target_cut = build_edge_cut(rr_graph, user, rr_index, "target")
+    if source_cut.pruning_probability(max_probabilities) >= target_cut.pruning_probability(
+        max_probabilities
+    ):
+        return source_cut
+    return target_cut
+
+
+@dataclass
+class _UserFilterStructures:
+    """Cached per-user filter structures: inverted lists + always-candidate graphs."""
+
+    inverted_lists: Dict[int, List[Tuple[float, int]]]
+    always_candidates: Set[int]
+    candidate_universe: List[int]
+
+
+class PrunedIndexEstimator(InfluenceEstimator):
+    """``IndexEst+``: filter-and-verify estimation on top of the RR-Graph index."""
+
+    name = "indexest+"
+
+    def __init__(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        index: RRGraphIndex,
+        budget: Optional[SampleBudget] = None,
+    ) -> None:
+        super().__init__(graph, model, budget)
+        if index.graph is not graph:
+            raise IndexNotBuiltError("the index was built for a different graph instance")
+        self.index = index
+        self._user_structures: Dict[int, _UserFilterStructures] = {}
+
+    # ----------------------------------------------------------------- filter
+    def _structures_for(self, user: int) -> _UserFilterStructures:
+        """Build (or fetch) the inverted lists of the chosen cuts for ``user``."""
+        cached = self._user_structures.get(user)
+        if cached is not None:
+            return cached
+        max_probabilities = self.graph.max_edge_probabilities()
+        inverted: Dict[int, List[Tuple[float, int]]] = {}
+        always: Set[int] = set()
+        candidates = self.index.graphs_containing(user)
+        for rr_index in candidates:
+            rr_graph = self.index.rr_graphs[rr_index]
+            cut = choose_edge_cut(rr_graph, user, rr_index, max_probabilities)
+            if cut.always_live:
+                always.add(rr_index)
+                continue
+            if not cut.entries:
+                # The user cannot reach the root in this RR-Graph at all.
+                continue
+            for edge_id, threshold in cut.entries:
+                inverted.setdefault(edge_id, []).append((threshold, rr_index))
+        for postings in inverted.values():
+            postings.sort()
+        structures = _UserFilterStructures(
+            inverted_lists=inverted,
+            always_candidates=always,
+            candidate_universe=list(candidates),
+        )
+        self._user_structures[user] = structures
+        return structures
+
+    def filter_candidates(
+        self, user: int, edge_probabilities: Sequence[float]
+    ) -> Tuple[Set[int], int]:
+        """The filter step: RR-Graph indices that survive the cut test.
+
+        Returns ``(candidates, postings_scanned)``.
+        """
+        structures = self._structures_for(user)
+        probabilities = np.asarray(edge_probabilities, dtype=float)
+        candidates: Set[int] = set(structures.always_candidates)
+        scanned = 0
+        for edge_id, postings in structures.inverted_lists.items():
+            probability = probabilities[edge_id]
+            if probability <= 0.0:
+                continue
+            for threshold, rr_index in postings:
+                scanned += 1
+                if threshold > probability:
+                    break
+                candidates.add(rr_index)
+        return candidates, scanned
+
+    # --------------------------------------------------------------- estimate
+    def estimate_with_probabilities(
+        self,
+        user: int,
+        edge_probabilities: Sequence[float],
+        num_samples: Optional[int] = None,
+    ) -> InfluenceEstimate:
+        """Filter RR-Graphs with the cuts, verify survivors with the BFS."""
+        candidates, scanned = self.filter_candidates(user, edge_probabilities)
+        hits = 0
+        checked_edges = scanned
+        for rr_index in candidates:
+            reachable, checked = tag_aware_reachable(
+                self.index.rr_graphs[rr_index], user, edge_probabilities
+            )
+            checked_edges += checked
+            if reachable:
+                hits += 1
+        value = hits / float(self.index.num_samples) * self.graph.num_vertices
+        return InfluenceEstimate(
+            value=value,
+            num_samples=len(candidates),
+            edges_visited=checked_edges,
+            reachable_size=len(self.index.graphs_containing(user)),
+            method=self.name,
+        )
+
+    def pruning_ratio(self, user: int, edge_probabilities: Sequence[float]) -> float:
+        """Fraction of containing RR-Graphs eliminated by the filter step."""
+        universe = self.index.graphs_containing(user)
+        if not universe:
+            return 0.0
+        candidates, _ = self.filter_candidates(user, edge_probabilities)
+        return 1.0 - len(candidates) / float(len(universe))

@@ -1,0 +1,182 @@
+"""The RR-Graph sample structure (Definition 2) and tag-aware reachability.
+
+An RR-Graph of a vertex ``v`` is one reverse possible world rooted at ``v``
+drawn under the *maximum* edge probabilities ``p(e) = max_z p(e|z)``: every
+edge examined during the reverse traversal receives a uniform random value
+``c(e)`` and survives iff ``c(e) <= p(e)``.  Because ``p(e|W) <= p(e)`` for any
+tag set, the RR-Graph never misses a vertex that could influence ``v`` under
+any ``W``; at query time the same ``c(e)`` values are compared against
+``p(e|W)`` to decide which stored edges are live (Definition 3), so a single
+offline sample serves every future query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class RRGraph:
+    """One reverse-reachable sample graph rooted at ``root``.
+
+    Attributes
+    ----------
+    root:
+        The uniformly sampled target vertex ``v``.
+    vertices:
+        Vertices that reach ``root`` through surviving edges.
+    edge_ids / edge_sources / edge_targets / edge_thresholds:
+        Parallel arrays describing the surviving edges and their ``c(e)``
+        values.  ``edge_thresholds[i]`` is the value ``p(e|W)`` must reach for
+        edge ``i`` to be live at query time.
+    recovery_weight:
+        Importance weight attached by the delayed-materialization recovery
+        (Algorithm 4): recovered graphs are drawn with the query user's forward
+        sample as the proposal, so each carries the size of that forward sample
+        as a self-normalized importance weight (1.0 for offline-materialized
+        graphs, which are drawn from the target distribution directly).
+    """
+
+    root: int
+    vertices: Set[int]
+    edge_ids: List[int] = field(default_factory=list)
+    edge_sources: List[int] = field(default_factory=list)
+    edge_targets: List[int] = field(default_factory=list)
+    edge_thresholds: List[float] = field(default_factory=list)
+    recovery_weight: float = 1.0
+    _adjacency: Optional[Dict[int, List[int]]] = field(default=None, repr=False)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices stored in this RR-Graph."""
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of surviving edges stored in this RR-Graph."""
+        return len(self.edge_ids)
+
+    def contains(self, vertex: int) -> bool:
+        """Whether ``vertex`` can possibly influence the root under some tag set."""
+        return vertex in self.vertices
+
+    def add_edge(self, edge_id: int, source: int, target: int, threshold: float) -> None:
+        """Record one surviving edge with its ``c(e)`` value."""
+        self.edge_ids.append(edge_id)
+        self.edge_sources.append(source)
+        self.edge_targets.append(target)
+        self.edge_thresholds.append(float(threshold))
+        self._adjacency = None
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Out-adjacency restricted to the stored edges: source -> local edge indices."""
+        if self._adjacency is None:
+            adjacency: Dict[int, List[int]] = {}
+            for local_index, source in enumerate(self.edge_sources):
+                adjacency.setdefault(source, []).append(local_index)
+            self._adjacency = adjacency
+        return self._adjacency
+
+    def out_edges_of(self, vertex: int) -> List[int]:
+        """Local edge indices leaving ``vertex`` inside this RR-Graph."""
+        return self.adjacency().get(vertex, [])
+
+    def in_edges_of(self, vertex: int) -> List[int]:
+        """Local edge indices entering ``vertex`` inside this RR-Graph."""
+        return [i for i, target in enumerate(self.edge_targets) if target == vertex]
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint: vertex ids + 4 numbers per stored edge."""
+        return 8 * self.num_vertices + (8 * 3 + 8) * self.num_edges
+
+
+def generate_rr_graph(
+    graph: TopicSocialGraph,
+    root: int,
+    rng: RandomSource,
+    max_probabilities: Optional[np.ndarray] = None,
+) -> RRGraph:
+    """Draw one RR-Graph rooted at ``root`` (Definition 2).
+
+    The reverse BFS examines every in-edge of every reached vertex, draws its
+    ``c(e)`` lazily, and keeps the edge iff ``c(e) <= p(e)``.  Edges whose
+    ``c(e)`` exceeds ``p(e)`` can never be live under any tag set and are
+    dropped entirely.
+    """
+    if max_probabilities is None:
+        max_probabilities = graph.max_edge_probabilities()
+    rr_graph = RRGraph(root=root, vertices={root})
+    queue = deque([root])
+    while queue:
+        vertex = queue.popleft()
+        in_edges = graph.in_edges(vertex)
+        if not in_edges:
+            continue
+        thresholds = rng.uniforms(len(in_edges))
+        for edge_id, threshold in zip(in_edges, thresholds):
+            max_probability = max_probabilities[edge_id]
+            if max_probability <= 0.0 or threshold > max_probability:
+                continue
+            source, target = graph.edge_endpoints(edge_id)
+            rr_graph.add_edge(edge_id, source, target, float(threshold))
+            if source not in rr_graph.vertices:
+                rr_graph.vertices.add(source)
+                queue.append(source)
+    return rr_graph
+
+
+def tag_aware_reachable(
+    rr_graph: RRGraph,
+    user: int,
+    edge_probabilities: Sequence[float],
+) -> Tuple[bool, int]:
+    """Definition 3: does ``user`` reach the root through live edges?
+
+    An edge is live when ``p(e|W) >= c(e)``.  Returns ``(reachable,
+    edges_checked)`` so callers can account verification cost.
+    """
+    if user == rr_graph.root:
+        return True, 0
+    if user not in rr_graph.vertices:
+        return False, 0
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    visited = {user}
+    queue = deque([user])
+    checked = 0
+    while queue:
+        vertex = queue.popleft()
+        for local_index in rr_graph.out_edges_of(vertex):
+            checked += 1
+            probability = probabilities[rr_graph.edge_ids[local_index]]
+            if probability <= 0.0 or probability < rr_graph.edge_thresholds[local_index]:
+                continue
+            target = rr_graph.edge_targets[local_index]
+            if target == rr_graph.root:
+                return True, checked
+            if target not in visited:
+                visited.add(target)
+                queue.append(target)
+    return False, checked
+
+
+def structurally_reachable(rr_graph: RRGraph, user: int) -> Set[int]:
+    """Vertices reachable from ``user`` inside the RR-Graph ignoring tag probabilities."""
+    if user not in rr_graph.vertices:
+        return set()
+    visited = {user}
+    queue = deque([user])
+    while queue:
+        vertex = queue.popleft()
+        for local_index in rr_graph.out_edges_of(vertex):
+            target = rr_graph.edge_targets[local_index]
+            if target not in visited:
+                visited.add(target)
+                queue.append(target)
+    return visited

@@ -1,0 +1,154 @@
+"""The offline RR-Graph index and the ``IndexEst`` estimator (Algorithm 3).
+
+Offline, the index draws ``theta`` RR-Graphs for uniformly sampled roots and
+records, per user, which RR-Graphs contain them.  Online, estimating
+``E[I(u|W)]`` reduces to counting in how many of the RR-Graphs containing ``u``
+the user actually reaches the root through live edges (Definition 3):
+
+``E-hat[I(u|W)] = (#reaching RR-Graphs / theta) * |V|``
+
+No sampling happens at query time, which is where the orders-of-magnitude
+speed-ups of Fig. 7 / Fig. 9 come from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import IndexNotBuiltError
+from repro.graph.digraph import TopicSocialGraph
+from repro.index.rr_graph import RRGraph, generate_rr_graph, tag_aware_reachable
+from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.timer import Stopwatch
+
+
+class RRGraphIndex:
+    """A materialized collection of RR-Graphs plus per-user containment lists.
+
+    Parameters
+    ----------
+    graph:
+        The social graph the index is built for.
+    num_samples:
+        Number of RR-Graphs to materialize (``theta``).  The theoretical value
+        of Eqn. 7 can be obtained from
+        :func:`repro.sampling.base.sample_size_offline`; benchmarks typically
+        use a smaller practical value, exactly as the paper's implementation
+        caps the index size.
+    seed:
+        Random seed for the offline sampling.
+    """
+
+    def __init__(self, graph: TopicSocialGraph, num_samples: int, seed: SeedLike = None) -> None:
+        self.graph = graph
+        self.num_samples = int(num_samples)
+        self._rng = spawn_rng(seed)
+        self.rr_graphs: List[RRGraph] = []
+        self.containment: Dict[int, List[int]] = {}
+        self.build_seconds: float = 0.0
+        self._built = False
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> "RRGraphIndex":
+        """Materialize ``num_samples`` RR-Graphs (offline phase of Algorithm 3)."""
+        watch = Stopwatch().start()
+        max_probabilities = self.graph.max_edge_probabilities()
+        self.rr_graphs = []
+        self.containment = {}
+        for index in range(self.num_samples):
+            root = self._rng.integer(0, self.graph.num_vertices)
+            rr_graph = generate_rr_graph(self.graph, root, self._rng, max_probabilities)
+            self.rr_graphs.append(rr_graph)
+            for vertex in rr_graph.vertices:
+                self.containment.setdefault(vertex, []).append(index)
+        self._built = True
+        watch.stop()
+        self.build_seconds = watch.elapsed
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError("RRGraphIndex.build() must be called before querying")
+
+    # ------------------------------------------------------------------ query
+    def graphs_containing(self, user: int) -> List[int]:
+        """Indices of the RR-Graphs containing ``user``."""
+        self._require_built()
+        return self.containment.get(user, [])
+
+    def containment_count(self, user: int) -> int:
+        """``theta(u)``: number of RR-Graphs containing ``user``."""
+        return len(self.graphs_containing(user))
+
+    def estimate(self, user: int, edge_probabilities: Sequence[float]) -> InfluenceEstimate:
+        """Algorithm 3 online phase: count tag-aware reachable RR-Graphs."""
+        self._require_built()
+        hits = 0
+        checked_edges = 0
+        candidates = self.graphs_containing(user)
+        for index in candidates:
+            reachable, checked = tag_aware_reachable(
+                self.rr_graphs[index], user, edge_probabilities
+            )
+            checked_edges += checked
+            if reachable:
+                hits += 1
+        value = hits / float(self.num_samples) * self.graph.num_vertices
+        return InfluenceEstimate(
+            value=value,
+            num_samples=len(candidates),
+            edges_visited=checked_edges,
+            reachable_size=len(candidates),
+            method="indexest",
+        )
+
+    # ------------------------------------------------------------------ stats
+    def memory_bytes(self) -> int:
+        """Approximate index footprint (graphs + containment lists)."""
+        self._require_built()
+        graphs = sum(rr.memory_bytes() for rr in self.rr_graphs)
+        containment = sum(len(v) for v in self.containment.values()) * 8
+        return graphs + containment
+
+    def average_rr_graph_size(self) -> float:
+        """Mean number of vertices per RR-Graph."""
+        self._require_built()
+        if not self.rr_graphs:
+            return 0.0
+        return float(np.mean([rr.num_vertices for rr in self.rr_graphs]))
+
+
+class IndexEstimator(InfluenceEstimator):
+    """The ``IndexEst`` method: Algorithm 3 behind the estimator interface."""
+
+    name = "indexest"
+
+    def __init__(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        index: RRGraphIndex,
+        budget: Optional[SampleBudget] = None,
+    ) -> None:
+        super().__init__(graph, model, budget)
+        if index.graph is not graph:
+            raise IndexNotBuiltError("the index was built for a different graph instance")
+        self.index = index
+
+    def estimate_with_probabilities(
+        self,
+        user: int,
+        edge_probabilities: Sequence[float],
+        num_samples: Optional[int] = None,
+    ) -> InfluenceEstimate:
+        """Delegate to the RR-Graph index; ``num_samples`` is ignored (offline samples)."""
+        return self.index.estimate(user, edge_probabilities)

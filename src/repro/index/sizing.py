@@ -1,0 +1,68 @@
+"""Index size and construction-time accounting (Table 3 of the paper).
+
+Table 3 reports, per dataset, the raw data size, the materialized RR-Graphs
+index size and build time, and the DelayMat size and build time.  The helpers
+here measure the same quantities for the indexes built by this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.index.delayed import DelayedMaterializationIndex
+from repro.index.rr_index import RRGraphIndex
+
+
+@dataclass
+class IndexFootprint:
+    """Size / build-time summary of one index on one dataset."""
+
+    name: str
+    dataset: str
+    size_bytes: int
+    build_seconds: float
+    num_samples: int
+
+    @property
+    def size_megabytes(self) -> float:
+        """Size in megabytes (the unit Table 3 uses)."""
+        return self.size_bytes / (1024.0 * 1024.0)
+
+    def row(self) -> tuple:
+        """``(dataset, index, size_MB, build_seconds, num_samples)``."""
+        return (self.dataset, self.name, self.size_megabytes, self.build_seconds, self.num_samples)
+
+
+def measure_data_size(graph: TopicSocialGraph, dataset: str = "") -> IndexFootprint:
+    """Footprint of the raw graph data itself (the "Data" column of Table 3)."""
+    return IndexFootprint(
+        name="data",
+        dataset=dataset,
+        size_bytes=graph.memory_bytes(),
+        build_seconds=0.0,
+        num_samples=0,
+    )
+
+
+def measure_rr_index(index: RRGraphIndex, dataset: str = "") -> IndexFootprint:
+    """Footprint of a fully materialized RR-Graph index."""
+    return IndexFootprint(
+        name="rr-graphs",
+        dataset=dataset,
+        size_bytes=index.memory_bytes(),
+        build_seconds=index.build_seconds,
+        num_samples=index.num_samples,
+    )
+
+
+def measure_delayed_index(index: DelayedMaterializationIndex, dataset: str = "") -> IndexFootprint:
+    """Footprint of a delayed-materialization index."""
+    return IndexFootprint(
+        name="delaymat",
+        dataset=dataset,
+        size_bytes=index.memory_bytes(),
+        build_seconds=index.build_seconds,
+        num_samples=index.num_samples,
+    )

@@ -1,0 +1,55 @@
+"""Cascade traces: the common result object of every propagation simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class CascadeTrace:
+    """The outcome of one propagation simulation.
+
+    Attributes
+    ----------
+    seeds:
+        The initially activated vertices.
+    activation_step:
+        Map from activated vertex to the step at which it became active
+        (seeds are at step 0).
+    edges_probed:
+        Number of edge-probe operations performed by the simulation; used by
+        the Fig. 13 instrumentation.
+    """
+
+    seeds: Set[int] = field(default_factory=set)
+    activation_step: Dict[int, int] = field(default_factory=dict)
+    edges_probed: int = 0
+
+    @property
+    def activated(self) -> Set[int]:
+        """All activated vertices, seeds included."""
+        return set(self.activation_step)
+
+    @property
+    def size(self) -> int:
+        """Number of activated vertices (the realized influence ``I_g(u|W)``)."""
+        return len(self.activation_step)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of propagation steps after the seeding step."""
+        if not self.activation_step:
+            return 0
+        return max(self.activation_step.values())
+
+    def activated_at(self, step: int) -> List[int]:
+        """Vertices activated exactly at ``step``."""
+        return sorted(v for v, s in self.activation_step.items() if s == step)
+
+    def frontier_sizes(self) -> List[int]:
+        """Number of vertices activated at each step, starting with the seeds."""
+        sizes: List[int] = []
+        for step in range(self.num_steps + 1):
+            sizes.append(len(self.activated_at(step)))
+        return sizes

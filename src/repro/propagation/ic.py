@@ -1,0 +1,123 @@
+"""The Independent Cascade (IC) model.
+
+Under IC (Sec. 3.1), the target user becomes active at step 0; every newly
+activated user gets a single chance to activate each inactive out-neighbour
+with probability ``p(e|W)``; the process stops when no new activation happens.
+The influence spread ``E[I(u|W)]`` is the expected number of active users at
+termination (including the seed).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.propagation.cascade import CascadeTrace
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
+
+
+def simulate_ic_cascade(
+    graph: TopicSocialGraph,
+    seeds: Iterable[int],
+    edge_probabilities: Sequence[float],
+    rng: Optional[RandomSource] = None,
+    max_steps: Optional[int] = None,
+) -> CascadeTrace:
+    """Simulate one IC cascade and return its trace.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    seeds:
+        Initially active vertices (step 0).
+    edge_probabilities:
+        ``p(e|W)`` per edge id.
+    rng:
+        Random source; a fresh unseeded source is used when omitted.
+    max_steps:
+        Optional cap on the number of propagation rounds.
+    """
+    rng = rng if rng is not None else spawn_rng(None)
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    trace = CascadeTrace(seeds=set(seeds))
+    frontier = deque()
+    for seed in trace.seeds:
+        if seed not in trace.activation_step:
+            trace.activation_step[seed] = 0
+            frontier.append(seed)
+    step = 0
+    while frontier:
+        if max_steps is not None and step >= max_steps:
+            break
+        step += 1
+        next_frontier: deque = deque()
+        while frontier:
+            vertex = frontier.popleft()
+            for edge_id in graph.out_edges(vertex):
+                probability = probabilities[edge_id]
+                if probability <= 0.0:
+                    continue
+                trace.edges_probed += 1
+                _, target = graph.edge_endpoints(edge_id)
+                if target in trace.activation_step:
+                    continue
+                if rng.uniform() < probability:
+                    trace.activation_step[target] = step
+                    next_frontier.append(target)
+        frontier = next_frontier
+    return trace
+
+
+class IndependentCascadeModel:
+    """Object-oriented facade over :func:`simulate_ic_cascade`.
+
+    Keeps the graph and a random source, and exposes both single-cascade
+    simulation and brute-force Monte-Carlo spread estimation (used as a slow
+    but simple oracle in integration tests).
+    """
+
+    def __init__(self, graph: TopicSocialGraph, seed: SeedLike = None) -> None:
+        self.graph = graph
+        self._rng = spawn_rng(seed)
+
+    def simulate(
+        self,
+        seeds: Iterable[int],
+        edge_probabilities: Sequence[float],
+        max_steps: Optional[int] = None,
+    ) -> CascadeTrace:
+        """Run one cascade from ``seeds``."""
+        return simulate_ic_cascade(self.graph, seeds, edge_probabilities, self._rng, max_steps)
+
+    def estimate_spread(
+        self,
+        seeds: Iterable[int],
+        edge_probabilities: Sequence[float],
+        num_samples: int,
+    ) -> float:
+        """Plain Monte-Carlo estimate of ``E[I(seeds|W)]`` over ``num_samples`` cascades."""
+        seeds = list(seeds)
+        total = 0
+        for _ in range(num_samples):
+            trace = self.simulate(seeds, edge_probabilities)
+            total += trace.size
+        return total / float(num_samples)
+
+    def activation_frequencies(
+        self,
+        seeds: Iterable[int],
+        edge_probabilities: Sequence[float],
+        num_samples: int,
+    ) -> np.ndarray:
+        """Per-vertex activation frequency over ``num_samples`` cascades."""
+        seeds = list(seeds)
+        counts = np.zeros(self.graph.num_vertices)
+        for _ in range(num_samples):
+            trace = self.simulate(seeds, edge_probabilities)
+            for vertex in trace.activated:
+                counts[vertex] += 1
+        return counts / float(num_samples)

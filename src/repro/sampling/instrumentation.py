@@ -1,0 +1,92 @@
+"""Instrumentation for the sampling experiments (Fig. 6 and Fig. 13).
+
+Two small helpers:
+
+* :class:`ConvergenceTrace` -- estimate-vs-sample-count series gathered by the
+  ``running_estimates`` methods of the samplers (Fig. 6).
+* :class:`EstimatorInstrumentation` -- edge-visit accounting across a batch of
+  queries, one record per method (Fig. 13 / Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.sampling.base import InfluenceEstimate
+
+
+@dataclass
+class ConvergenceTrace:
+    """Estimates of one method at increasing sample counts."""
+
+    method: str
+    sample_counts: List[int] = field(default_factory=list)
+    estimates: List[float] = field(default_factory=list)
+
+    def add(self, sample_count: int, estimate: float) -> None:
+        """Record the estimate after ``sample_count`` samples."""
+        self.sample_counts.append(int(sample_count))
+        self.estimates.append(float(estimate))
+
+    def final_estimate(self) -> float:
+        """The estimate at the largest recorded sample count."""
+        return self.estimates[-1] if self.estimates else 0.0
+
+    def relative_spread(self) -> float:
+        """Max relative deviation of the recorded estimates from the final one.
+
+        Small values mean the method has converged over the recorded range.
+        """
+        final = self.final_estimate()
+        if final == 0.0 or not self.estimates:
+            return 0.0
+        return max(abs(e - final) / final for e in self.estimates)
+
+    def rows(self) -> List[tuple]:
+        """``(method, theta, estimate)`` rows for tabular printing."""
+        return [(self.method, c, e) for c, e in zip(self.sample_counts, self.estimates)]
+
+
+@dataclass
+class EstimatorInstrumentation:
+    """Aggregated edge-visit counts per method across a query batch."""
+
+    edge_visits: Dict[str, int] = field(default_factory=dict)
+    sample_counts: Dict[str, int] = field(default_factory=dict)
+    query_counts: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, estimate: InfluenceEstimate) -> None:
+        """Add one estimation result to the per-method totals."""
+        method = estimate.method or "unknown"
+        self.edge_visits[method] = self.edge_visits.get(method, 0) + estimate.edges_visited
+        self.sample_counts[method] = self.sample_counts.get(method, 0) + estimate.num_samples
+        self.query_counts[method] = self.query_counts.get(method, 0) + 1
+
+    def record_many(self, estimates: Iterable[InfluenceEstimate]) -> None:
+        """Add several estimation results."""
+        for estimate in estimates:
+            self.record(estimate)
+
+    def mean_edge_visits(self, method: str) -> float:
+        """Average edge visits per query for ``method``."""
+        queries = self.query_counts.get(method, 0)
+        if queries == 0:
+            return 0.0
+        return self.edge_visits.get(method, 0) / float(queries)
+
+    def methods(self) -> Sequence[str]:
+        """All methods recorded so far."""
+        return sorted(self.edge_visits)
+
+    def rows(self) -> List[tuple]:
+        """``(method, total_edge_visits, mean_edge_visits, total_samples)`` rows."""
+        return [
+            (
+                method,
+                self.edge_visits.get(method, 0),
+                self.mean_edge_visits(method),
+                self.sample_counts.get(method, 0),
+            )
+            for method in self.methods()
+        ]

@@ -1,0 +1,35 @@
+"""Hardness constructions of Sec. 3.2 (Lemma 1 and Theorem 1).
+
+The reductions are implemented as executable graph constructions so the test
+suite can check, end to end, that the chain
+
+    set cover  ->  k-label s-t reachability  ->  PITEX
+
+behaves as the proofs claim: a set-cover instance has a cover of size ``k`` iff
+the reduced PITEX instance admits a size-``k`` tag set whose influence spread
+crosses the ``n - 1`` threshold used in the Theorem 1 case analysis.
+"""
+
+from repro.theory.reductions import (
+    SetCoverInstance,
+    LabeledGraph,
+    set_cover_to_k_label_reachability,
+    k_label_reachability_to_pitex,
+    set_cover_to_pitex,
+)
+from repro.theory.hardness import (
+    brute_force_set_cover,
+    brute_force_k_label_reachability,
+    pitex_decides_reachability,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "LabeledGraph",
+    "set_cover_to_k_label_reachability",
+    "k_label_reachability_to_pitex",
+    "set_cover_to_pitex",
+    "brute_force_set_cover",
+    "brute_force_k_label_reachability",
+    "pitex_decides_reachability",
+]

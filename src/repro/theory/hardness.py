@@ -1,0 +1,72 @@
+"""Brute-force deciders used to validate the hardness reductions.
+
+These are exponential-time reference implementations: they only run on the tiny
+instances used by the test suite, where they confirm that the reductions of
+:mod:`repro.theory.reductions` preserve yes/no answers exactly as the proofs of
+Lemma 1 and Theorem 1 require.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional, Set, Tuple
+
+from repro.graph.algorithms import forward_reachable
+from repro.theory.reductions import (
+    LabeledGraph,
+    SetCoverInstance,
+    set_cover_to_pitex,
+)
+
+
+def brute_force_set_cover(instance: SetCoverInstance, k: int) -> bool:
+    """Whether some ``k`` subsets cover the universe (exponential search)."""
+    universe = set(instance.universe)
+    for selection in combinations(range(instance.num_subsets), min(k, instance.num_subsets)):
+        covered: Set[int] = set()
+        for index in selection:
+            covered.update(instance.subsets[index])
+        if covered >= universe:
+            return True
+    return False
+
+
+def brute_force_k_label_reachability(
+    graph: LabeledGraph, source: int, target: int, k: int
+) -> bool:
+    """Whether some ``k``-label subset makes ``source`` reach ``target``."""
+    labels = range(graph.num_labels)
+    for selection in combinations(labels, min(k, graph.num_labels)):
+        if graph.reaches(source, target, set(selection)):
+            return True
+    return False
+
+
+def pitex_decides_reachability(
+    instance: SetCoverInstance,
+    k: int,
+    padding: Optional[int] = None,
+    probability_cut: float = 0.01,
+) -> Tuple[bool, float]:
+    """Theorem 1's decision procedure run on the reduced PITEX instance.
+
+    Builds the PITEX instance from the set-cover instance and, for every
+    ``k``-tag set, measures the influence spread of the query user as the
+    number of vertices reachable through edges with a non-negligible
+    ``p(e|W)``: because of the smoothed construction (see
+    :func:`repro.theory.reductions.k_label_reachability_to_pitex`), edges of a
+    *selected* label have probability around ``1/k`` while every other edge
+    sits at the smoothing floor, so ``probability_cut`` separates the two
+    regimes for any reasonable ``k``.  The ``spread > n - 1`` threshold from
+    the proof's case analysis then decides the original instance.
+
+    Returns ``(decision, best_spread)``.
+    """
+    graph, model, user, _target = set_cover_to_pitex(instance, padding)
+    original_vertices = instance.num_elements + 1
+    best_spread = 0.0
+    for tag_set in model.candidate_tag_sets(min(k, model.num_tags)):
+        probabilities = model.edge_probabilities(graph, tag_set)
+        reachable = forward_reachable(graph, user, lambda e: probabilities[e] > probability_cut)
+        best_spread = max(best_spread, float(len(reachable)))
+    return best_spread > original_vertices - 1, best_spread

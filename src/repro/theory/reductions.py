@@ -1,0 +1,169 @@
+"""Executable reductions behind the PITEX hardness proof.
+
+Lemma 1 reduces *set cover* to *k-label s-t reachability*; Theorem 1 reduces
+k-label s-t reachability to PITEX.  The constructions below follow the proofs
+literally (with one representational change: our social graph disallows
+parallel edges, so multi-labelled edges between the same vertex pair are merged
+into a single edge whose probability vector is 1 on every carried label --
+equivalent for reachability, which is all the proofs use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import TopicSocialGraph
+from repro.topics.model import TagTopicModel
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A set cover instance: a universe and a family of subsets."""
+
+    universe: Tuple[int, ...]
+    subsets: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        universe = set(self.universe)
+        covered = set()
+        for subset in self.subsets:
+            covered.update(subset)
+        if not covered >= universe:
+            raise InvalidParameterError("the subsets do not cover the universe")
+
+    @property
+    def num_elements(self) -> int:
+        """Size of the universe."""
+        return len(self.universe)
+
+    @property
+    def num_subsets(self) -> int:
+        """Number of subsets in the family."""
+        return len(self.subsets)
+
+
+@dataclass
+class LabeledGraph:
+    """A directed multigraph with one label per edge (input of Lemma 1)."""
+
+    num_vertices: int
+    num_labels: int
+    edges: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def add_edge(self, source: int, target: int, label: int) -> None:
+        """Add a labelled edge."""
+        if not 0 <= source < self.num_vertices or not 0 <= target < self.num_vertices:
+            raise InvalidParameterError("edge endpoints out of range")
+        if not 0 <= label < self.num_labels:
+            raise InvalidParameterError("edge label out of range")
+        self.edges.append((source, target, label))
+
+    def edges_with_labels(self, labels: Set[int]) -> List[Tuple[int, int]]:
+        """Edges whose label belongs to ``labels``."""
+        return [(u, v) for (u, v, l) in self.edges if l in labels]
+
+    def reaches(self, source: int, target: int, labels: Set[int]) -> bool:
+        """Whether ``source`` reaches ``target`` in the subgraph induced by ``labels``."""
+        adjacency: Dict[int, List[int]] = {}
+        for u, v in self.edges_with_labels(labels):
+            adjacency.setdefault(u, []).append(v)
+        frontier = [source]
+        visited = {source}
+        while frontier:
+            vertex = frontier.pop()
+            if vertex == target:
+                return True
+            for neighbor in adjacency.get(vertex, []):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        return target in visited
+
+
+def set_cover_to_k_label_reachability(instance: SetCoverInstance) -> Tuple[LabeledGraph, int, int]:
+    """Lemma 1 reduction: a path whose i-th hop carries the labels of subsets containing u_i.
+
+    Returns ``(graph, s, t)``.  A label set of size ``k`` makes ``s`` reach ``t``
+    iff the corresponding ``k`` subsets cover the universe.
+    """
+    n = instance.num_elements
+    element_position = {element: i for i, element in enumerate(instance.universe)}
+    graph = LabeledGraph(num_vertices=n + 1, num_labels=instance.num_subsets)
+    for label, subset in enumerate(instance.subsets):
+        for element in subset:
+            position = element_position[element]
+            graph.add_edge(position, position + 1, label)
+    return graph, 0, n
+
+
+def k_label_reachability_to_pitex(
+    labeled_graph: LabeledGraph,
+    source: int,
+    target: int,
+    padding: int | None = None,
+    smoothing: float = 1e-6,
+) -> Tuple[TopicSocialGraph, TagTopicModel, int]:
+    """Theorem 1 reduction: k-label reachability as a PITEX instance.
+
+    One tag and one topic per label with ``p(w_i|z_i) = 1``; every labelled
+    edge gets probability 1 under its label's topic; a deterministic chain of
+    ``padding`` extra vertices hangs off ``target`` so that reaching ``target``
+    inflates the influence spread well past the number of original vertices
+    (the proof uses ``padding = n^2 - n``; tests may use a smaller value, the
+    threshold argument only needs the chain to be longer than the original
+    graph).
+
+    One representational note: the paper's construction sets ``p(w_i|z_j) = 0``
+    for ``i != j``, but under the strict bag-of-words product of Eqn. 1 a tag
+    set spanning two different labels would then have an *empty* topic support
+    (the posterior multiplies the per-tag likelihoods), collapsing every
+    multi-tag query.  The construction's intent -- selecting ``k`` labels
+    activates the edges of all ``k`` labels -- is realized by smoothing the off
+    -diagonal entries with a tiny ``smoothing`` likelihood: the posterior then
+    concentrates (up to ``O(smoothing)``) uniformly on the selected labels'
+    topics, giving the selected labels' edges probability ``~1/k`` and all
+    other edges probability ``~smoothing``, which the Theorem 1 threshold
+    argument separates cleanly.
+
+    Returns ``(social_graph, tag_topic_model, query_user)``.
+    """
+    n = labeled_graph.num_vertices
+    num_labels = labeled_graph.num_labels
+    if padding is None:
+        padding = n * n - n
+    total_vertices = n + padding
+    graph = TopicSocialGraph(total_vertices, num_labels)
+
+    # Merge parallel labelled edges into one probability vector per vertex pair.
+    merged: Dict[Tuple[int, int], np.ndarray] = {}
+    for u, v, label in labeled_graph.edges:
+        vector = merged.setdefault((u, v), np.zeros(num_labels))
+        vector[label] = 1.0
+    for (u, v), vector in merged.items():
+        graph.add_edge(u, v, vector)
+
+    # Deterministic chain from the target through the padding vertices.
+    ones = np.ones(num_labels)
+    previous = target
+    for offset in range(padding):
+        chain_vertex = n + offset
+        graph.add_edge(previous, chain_vertex, ones)
+        previous = chain_vertex
+
+    matrix = np.full((num_labels, num_labels), smoothing)
+    np.fill_diagonal(matrix, 1.0)
+    model = TagTopicModel(matrix, tags=[f"label{i}" for i in range(num_labels)])
+    return graph, model, source
+
+
+def set_cover_to_pitex(
+    instance: SetCoverInstance, padding: int | None = None
+) -> Tuple[TopicSocialGraph, TagTopicModel, int, int]:
+    """Compose both reductions; returns ``(graph, model, query_user, target_vertex)``."""
+    labeled_graph, source, target = set_cover_to_k_label_reachability(instance)
+    graph, model, user = k_label_reachability_to_pitex(labeled_graph, source, target, padding)
+    return graph, model, user, target

@@ -1,0 +1,39 @@
+"""Topic / tag model substrate.
+
+The paper adopts the Topic-aware Independent Cascade (TIC) convention: topics
+``Z`` are latent, tags ``Omega`` are observable keywords distributed over
+topics through ``p(w|z)``, and each edge carries ``p(e|z)``.  Given a tag set
+``W`` the posterior ``p(z|W)`` follows the bag-of-words Bayesian language model
+(Eqn. 1), and ``p(e|W) = sum_z p(e|z) p(z|W)``.
+
+This package provides:
+
+* :class:`~repro.topics.model.TagTopicModel` -- ``p(w|z)``, ``p(z)``, tag
+  vocabulary, ``p(z|W)`` posterior computation and the Lemma 8 upper bound
+  machinery's per-tag ratios.
+* :mod:`~repro.topics.action_log` -- the "log of past propagation" data model
+  (who re-shared what, when, tagged with which tags) plus a synthetic log
+  generator.
+* :mod:`~repro.topics.tic_learner` -- a frequency/EM-style learner that
+  extracts ``p(e|z)`` and ``p(w|z)`` from an action log, standing in for the
+  TIC learning procedure of Barbieri et al. that the paper relies on.
+* :mod:`~repro.topics.lda` -- a compact collapsed-Gibbs LDA used to derive
+  per-user topic distributions from tag documents (the twitter pipeline of
+  Sec. 7.1).
+"""
+
+from repro.topics.model import TagTopicModel
+from repro.topics.action_log import Action, ActionLog, generate_action_log
+from repro.topics.tic_learner import learn_tic_model, TICLearningResult
+from repro.topics.lda import LatentDirichletAllocation, LDAResult
+
+__all__ = [
+    "TagTopicModel",
+    "Action",
+    "ActionLog",
+    "generate_action_log",
+    "learn_tic_model",
+    "TICLearningResult",
+    "LatentDirichletAllocation",
+    "LDAResult",
+]

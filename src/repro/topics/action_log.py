@@ -1,0 +1,136 @@
+"""Propagation ("action") logs and a synthetic log generator.
+
+TIC-style models are learned from a "log of past propagation" (Sec. 3.1): a
+record of which user re-shared which item at which time, together with the tags
+describing the item.  Real logs (lastfm votes, diggs, tweets) are not
+redistributable, so :func:`generate_action_log` produces a synthetic log by
+running the very propagation model the library implements on a ground-truth
+graph -- the learner in :mod:`repro.topics.tic_learner` then has to recover the
+parameters from observations only, exactly like the real pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass(frozen=True)
+class Action:
+    """One log entry: ``user`` adopted ``item`` at ``time`` (time steps are integers)."""
+
+    user: int
+    item: int
+    time: int
+
+
+@dataclass
+class ActionLog:
+    """A propagation log: items, their tags and the adoption actions.
+
+    Attributes
+    ----------
+    item_tags:
+        For each item id, the tag ids describing the propagated content.
+    actions:
+        All adoption actions, in arbitrary order.
+    """
+
+    item_tags: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    actions: List[Action] = field(default_factory=list)
+
+    @property
+    def num_items(self) -> int:
+        """Number of distinct propagated items."""
+        return len(self.item_tags)
+
+    @property
+    def num_actions(self) -> int:
+        """Total number of adoption actions."""
+        return len(self.actions)
+
+    def add_item(self, item: int, tags: Sequence[int]) -> None:
+        """Register an item and the tags describing it."""
+        self.item_tags[item] = tuple(tags)
+
+    def add_action(self, user: int, item: int, time: int) -> None:
+        """Record that ``user`` adopted ``item`` at ``time``."""
+        self.actions.append(Action(user=user, item=item, time=time))
+
+    def actions_by_item(self) -> Dict[int, List[Action]]:
+        """Group actions per item, sorted by time."""
+        grouped: Dict[int, List[Action]] = {}
+        for action in self.actions:
+            grouped.setdefault(action.item, []).append(action)
+        for item_actions in grouped.values():
+            item_actions.sort(key=lambda a: (a.time, a.user))
+        return grouped
+
+    def adopters(self, item: int) -> Set[int]:
+        """All users who adopted ``item``."""
+        return {action.user for action in self.actions if action.item == item}
+
+    def items_of_user(self, user: int) -> Set[int]:
+        """All items adopted by ``user``."""
+        return {action.item for action in self.actions if action.user == user}
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+
+def generate_action_log(
+    graph: TopicSocialGraph,
+    model: TagTopicModel,
+    num_items: int,
+    tags_per_item: int = 2,
+    seeds_per_item: int = 1,
+    max_steps: int = 8,
+    seed: SeedLike = None,
+) -> ActionLog:
+    """Generate a synthetic propagation log by simulating IC cascades.
+
+    For each item a random tag set is drawn, one or more seed users start the
+    cascade and the IC process with probabilities ``p(e|W)`` unrolls for at most
+    ``max_steps`` steps.  Every activation becomes a log action stamped with the
+    step at which it happened.
+    """
+    rng = spawn_rng(seed)
+    log = ActionLog()
+    vertices = list(graph.vertices())
+    for item in range(num_items):
+        tag_count = min(tags_per_item, model.num_tags)
+        tags = tuple(sorted(rng.choice(list(range(model.num_tags)), size=tag_count, replace=False)))
+        log.add_item(item, tags)
+        probabilities = model.edge_probabilities(graph, tags)
+        active: Set[int] = set()
+        frontier: List[int] = []
+        for _ in range(seeds_per_item):
+            seed_user = vertices[rng.integer(0, len(vertices))]
+            if seed_user not in active:
+                active.add(seed_user)
+                frontier.append(seed_user)
+                log.add_action(seed_user, item, 0)
+        step = 0
+        while frontier and step < max_steps:
+            step += 1
+            next_frontier: List[int] = []
+            for user in frontier:
+                for edge_id in graph.out_edges(user):
+                    probability = probabilities[edge_id]
+                    if probability <= 0.0:
+                        continue
+                    _, neighbor = graph.edge_endpoints(edge_id)
+                    if neighbor in active:
+                        continue
+                    if rng.uniform() < probability:
+                        active.add(neighbor)
+                        next_frontier.append(neighbor)
+                        log.add_action(neighbor, item, step)
+            frontier = next_frontier
+    return log

@@ -1,0 +1,171 @@
+"""A compact collapsed-Gibbs Latent Dirichlet Allocation.
+
+The twitter pipeline of Sec. 7.1 treats all hashtags of a user as a document
+and runs LDA to obtain per-user topic distributions, from which edge
+probabilities are derived.  This module implements that ingredient from
+scratch: a standard collapsed Gibbs sampler over documents of tag ids,
+returning the document-topic and tag-topic matrices needed to build a
+:class:`~repro.topics.model.TagTopicModel` and a topic-aware graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+@dataclass
+class LDAResult:
+    """Output of :meth:`LatentDirichletAllocation.fit`.
+
+    Attributes
+    ----------
+    document_topic:
+        ``(num_documents, num_topics)`` matrix of smoothed document-topic
+        proportions (rows sum to 1).
+    tag_topic:
+        ``(num_tags, num_topics)`` matrix of smoothed topic-tag likelihoods
+        (columns sum to 1), directly usable as ``p(w|z)``.
+    topic_prior:
+        Empirical topic proportions across the corpus, usable as ``p(z)``.
+    log_likelihood_trace:
+        Per-iteration corpus log-likelihood (up to a constant), used to check
+        that the sampler made progress.
+    """
+
+    document_topic: np.ndarray
+    tag_topic: np.ndarray
+    topic_prior: np.ndarray
+    log_likelihood_trace: List[float]
+
+    def to_model(self, tags: Sequence[str] | None = None) -> TagTopicModel:
+        """Wrap the learned matrices into a :class:`TagTopicModel`."""
+        return TagTopicModel(self.tag_topic, self.topic_prior, tags)
+
+
+class LatentDirichletAllocation:
+    """Collapsed Gibbs sampling LDA over documents of tag ids.
+
+    Parameters
+    ----------
+    num_topics:
+        Number of latent topics.
+    alpha:
+        Symmetric Dirichlet prior on document-topic proportions.
+    beta:
+        Symmetric Dirichlet prior on topic-tag proportions.
+    iterations:
+        Number of Gibbs sweeps over the corpus.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        num_topics: int,
+        alpha: float = 0.1,
+        beta: float = 0.05,
+        iterations: int = 50,
+        seed: SeedLike = None,
+    ) -> None:
+        if num_topics <= 0:
+            raise ModelError(f"num_topics must be positive, got {num_topics}")
+        if alpha <= 0 or beta <= 0:
+            raise ModelError("alpha and beta must be positive")
+        if iterations <= 0:
+            raise ModelError("iterations must be positive")
+        self.num_topics = num_topics
+        self.alpha = alpha
+        self.beta = beta
+        self.iterations = iterations
+        self._rng = spawn_rng(seed)
+
+    def fit(self, documents: Sequence[Sequence[int]], num_tags: int | None = None) -> LDAResult:
+        """Run the Gibbs sampler on ``documents`` (lists of tag ids)."""
+        documents = [list(doc) for doc in documents]
+        if not documents:
+            raise ModelError("LDA requires at least one document")
+        observed = [tag for doc in documents for tag in doc]
+        if not observed:
+            raise ModelError("LDA requires at least one tag occurrence")
+        if num_tags is None:
+            num_tags = max(observed) + 1
+        if min(observed) < 0 or max(observed) >= num_tags:
+            raise ModelError("document tag ids must lie in [0, num_tags)")
+
+        num_documents = len(documents)
+        doc_topic_counts = np.zeros((num_documents, self.num_topics), dtype=np.int64)
+        tag_topic_counts = np.zeros((num_tags, self.num_topics), dtype=np.int64)
+        topic_counts = np.zeros(self.num_topics, dtype=np.int64)
+
+        assignments: List[List[int]] = []
+        for doc_id, doc in enumerate(documents):
+            doc_assignments = []
+            for tag in doc:
+                topic = self._rng.integer(0, self.num_topics)
+                doc_assignments.append(topic)
+                doc_topic_counts[doc_id, topic] += 1
+                tag_topic_counts[tag, topic] += 1
+                topic_counts[topic] += 1
+            assignments.append(doc_assignments)
+
+        trace: List[float] = []
+        for _ in range(self.iterations):
+            for doc_id, doc in enumerate(documents):
+                for position, tag in enumerate(doc):
+                    topic = assignments[doc_id][position]
+                    doc_topic_counts[doc_id, topic] -= 1
+                    tag_topic_counts[tag, topic] -= 1
+                    topic_counts[topic] -= 1
+
+                    weights = (
+                        (doc_topic_counts[doc_id] + self.alpha)
+                        * (tag_topic_counts[tag] + self.beta)
+                        / (topic_counts + self.beta * num_tags)
+                    )
+                    topic = self._rng.weighted_index(weights)
+
+                    assignments[doc_id][position] = topic
+                    doc_topic_counts[doc_id, topic] += 1
+                    tag_topic_counts[tag, topic] += 1
+                    topic_counts[topic] += 1
+            trace.append(self._log_likelihood(doc_topic_counts, tag_topic_counts, topic_counts, documents, assignments))
+
+        document_topic = doc_topic_counts + self.alpha
+        document_topic = document_topic / document_topic.sum(axis=1, keepdims=True)
+        tag_topic = tag_topic_counts + self.beta
+        tag_topic = tag_topic / tag_topic.sum(axis=0, keepdims=True)
+        prior = topic_counts + self.alpha
+        prior = prior / prior.sum()
+        return LDAResult(
+            document_topic=document_topic,
+            tag_topic=tag_topic,
+            topic_prior=prior,
+            log_likelihood_trace=trace,
+        )
+
+    def _log_likelihood(
+        self,
+        doc_topic_counts: np.ndarray,
+        tag_topic_counts: np.ndarray,
+        topic_counts: np.ndarray,
+        documents: Sequence[Sequence[int]],
+        assignments: Sequence[Sequence[int]],
+    ) -> float:
+        """Corpus log-likelihood of the current assignment (up to a constant)."""
+        num_tags = tag_topic_counts.shape[0]
+        phi = (tag_topic_counts + self.beta) / (topic_counts + self.beta * num_tags)
+        theta = doc_topic_counts + self.alpha
+        theta = theta / theta.sum(axis=1, keepdims=True)
+        log_likelihood = 0.0
+        for doc_id, doc in enumerate(documents):
+            for tag in doc:
+                probability = float(theta[doc_id] @ phi[tag])
+                log_likelihood += np.log(max(probability, 1e-300))
+        return log_likelihood

@@ -1,0 +1,51 @@
+"""Shared utilities used across the PITEX reproduction.
+
+The utilities are intentionally small and dependency free (only ``numpy``):
+
+* :mod:`repro.utils.rng` -- deterministic random number management.
+* :mod:`repro.utils.heap` -- indexed and plain binary heaps used by the lazy
+  propagation sampler and best-effort exploration.
+* :mod:`repro.utils.timer` -- wall-clock timers and counters used by the
+  benchmark harness.
+* :mod:`repro.utils.stats` -- Chernoff/Hoeffding bounds, running statistics and
+  confidence helpers used by sample-size derivations.
+* :mod:`repro.utils.validation` -- argument checking helpers shared by public
+  API entry points.
+"""
+
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.heap import MinHeap, MaxHeap, LazyEdgeHeap
+from repro.utils.timer import Stopwatch, Counter, TimingRecord
+from repro.utils.stats import (
+    RunningMean,
+    chernoff_upper_tail,
+    chernoff_lower_tail,
+    hoeffding_sample_size,
+    relative_error,
+)
+from repro.utils.validation import (
+    ensure_positive_int,
+    ensure_probability,
+    ensure_in_range,
+    ensure_non_empty,
+)
+
+__all__ = [
+    "RandomSource",
+    "spawn_rng",
+    "MinHeap",
+    "MaxHeap",
+    "LazyEdgeHeap",
+    "Stopwatch",
+    "Counter",
+    "TimingRecord",
+    "RunningMean",
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "hoeffding_sample_size",
+    "relative_error",
+    "ensure_positive_int",
+    "ensure_probability",
+    "ensure_in_range",
+    "ensure_non_empty",
+]

@@ -1,0 +1,151 @@
+"""Heap data structures used by the samplers and the best-effort explorer.
+
+Three heaps are provided:
+
+* :class:`MinHeap` / :class:`MaxHeap` -- thin, allocation-friendly wrappers over
+  ``heapq`` with a stable tie-breaking counter so heterogeneous payloads never
+  need to be comparable.
+* :class:`LazyEdgeHeap` -- the per-vertex heap used by lazy propagation
+  sampling (Algorithm 2 of the paper).  Each entry is ``(next_fire, neighbor)``
+  where ``next_fire`` is the visit count of the owning vertex at which the edge
+  to ``neighbor`` becomes live; geometric re-draws keep the schedule rolling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+
+class MinHeap:
+    """A binary min-heap keyed by a float priority with stable ordering."""
+
+    __slots__ = ("_entries", "_tiebreak")
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, int, Any]] = []
+        self._tiebreak = itertools.count()
+
+    def push(self, priority: float, item: Any) -> None:
+        """Insert ``item`` with the given ``priority``."""
+        heapq.heappush(self._entries, (priority, next(self._tiebreak), item))
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the ``(priority, item)`` pair with lowest priority."""
+        priority, _, item = heapq.heappop(self._entries)
+        return priority, item
+
+    def peek(self) -> Tuple[float, Any]:
+        """Return, without removing, the lowest-priority entry."""
+        priority, _, item = self._entries[0]
+        return priority, item
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[float, Any]]:
+        return ((priority, item) for priority, _, item in sorted(self._entries))
+
+
+class MaxHeap:
+    """A binary max-heap implemented by negating priorities of a min-heap.
+
+    Used by best-effort exploration (Algorithm 5) to pop the partial tag set
+    with the largest influence upper bound first.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap = MinHeap()
+
+    def push(self, priority: float, item: Any) -> None:
+        """Insert ``item`` with the given ``priority``."""
+        self._heap.push(-priority, item)
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the ``(priority, item)`` pair with highest priority."""
+        priority, item = self._heap.pop()
+        return -priority, item
+
+    def peek(self) -> Tuple[float, Any]:
+        """Return, without removing, the highest-priority entry."""
+        priority, item = self._heap.peek()
+        return -priority, item
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class LazyEdgeHeap:
+    """Per-vertex activation schedule for lazy propagation sampling.
+
+    For a vertex ``v`` with out-neighbours ``n_1 .. n_d`` and edge activation
+    probabilities ``p_1 .. p_d``, the heap stores, for each neighbour, the visit
+    index of ``v`` at which the edge will next be live.  The visit indices are
+    produced by summing i.i.d. geometric random variables, which Lemma 6 of the
+    paper proves statistically identical to running an independent Bernoulli
+    trial per visit.
+
+    Parameters
+    ----------
+    neighbors:
+        Target vertex identifiers for every out-edge of the owner.
+    probabilities:
+        Matching activation probabilities ``p(e|W)``.
+    geometric:
+        Callable ``p -> int`` drawing a geometric variate; injected so the heap
+        stays deterministic under a seeded :class:`~repro.utils.rng.RandomSource`.
+    """
+
+    __slots__ = ("_heap", "_geometric", "visit_count")
+
+    def __init__(
+        self,
+        neighbors: List[int],
+        probabilities: List[float],
+        geometric: Callable[[float], int],
+    ) -> None:
+        self._geometric = geometric
+        self.visit_count = 0
+        entries: List[Tuple[int, int, int, float]] = []
+        for order, (neighbor, probability) in enumerate(zip(neighbors, probabilities)):
+            if probability <= 0.0:
+                continue
+            fire_at = geometric(probability)
+            entries.append((fire_at, order, neighbor, probability))
+        heapq.heapify(entries)
+        self._heap = entries
+
+    def visit(self) -> List[int]:
+        """Register one visit of the owning vertex and return fired neighbours.
+
+        The owning vertex has now been visited ``visit_count + 1`` times; every
+        scheduled edge whose ``next_fire`` equals the new visit count fires, is
+        returned, and is re-scheduled ``geometric(p)`` visits into the future.
+        """
+        self.visit_count += 1
+        fired: List[int] = []
+        while self._heap and self._heap[0][0] <= self.visit_count:
+            fire_at, order, neighbor, probability = heapq.heappop(self._heap)
+            fired.append(neighbor)
+            next_fire = fire_at + self._geometric(probability)
+            heapq.heappush(self._heap, (next_fire, order, neighbor, probability))
+        return fired
+
+    def pending(self) -> int:
+        """Number of edges still scheduled (edges with zero probability are dropped)."""
+        return len(self._heap)
+
+    def next_fire(self) -> Optional[int]:
+        """The earliest scheduled visit index, or ``None`` if nothing is scheduled."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

@@ -1,0 +1,151 @@
+"""Concentration bounds and running statistics.
+
+The sample-size expressions of the paper (Lemma 2, Lemma 3, Eqn. 2 and Eqn. 7)
+are instances of the Chernoff/Hoeffding bounds reproduced in Appendix B.2.
+This module implements those bounds directly so the samplers and the index can
+derive their sample budgets from first principles, and exposes the small
+running-statistics helpers used by the convergence experiment (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+
+def chernoff_upper_tail(delta: float) -> float:
+    """Upper-tail Chernoff exponent bound ``exp(-delta^2 / (2 + delta))``.
+
+    For ``X`` the sum of ``theta`` i.i.d. random variables in ``[0, 1]`` with
+    mean ``p``: ``Pr[X - theta*p >= delta*theta*p] <= exp(-delta^2/(2+delta) * theta*p)``.
+    This helper returns the per-unit exponent factor used in those products.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return math.exp(-(delta * delta) / (2.0 + delta))
+
+
+def chernoff_lower_tail(delta: float) -> float:
+    """Lower-tail Chernoff exponent bound ``exp(-delta^2 / 2)``."""
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return math.exp(-(delta * delta) / 2.0)
+
+
+def chernoff_failure_probability(theta: float, mean: float, epsilon: float) -> float:
+    """Two-sided failure probability of an ``theta``-sample estimate.
+
+    Probability that the empirical mean of ``theta`` i.i.d. variables in
+    ``[0, 1]`` with true mean ``mean`` deviates from ``mean`` by more than a
+    relative ``epsilon``, bounded by the sum of both Chernoff tails.
+    """
+    if theta <= 0 or mean <= 0:
+        return 1.0
+    exponent = theta * mean
+    upper = math.exp(-(epsilon * epsilon) / (2.0 + epsilon) * exponent)
+    lower = math.exp(-(epsilon * epsilon) / 2.0 * exponent)
+    return min(1.0, upper + lower)
+
+
+def hoeffding_sample_size(epsilon: float, delta: float) -> int:
+    """Classic Hoeffding sample size for an additive ``epsilon`` error.
+
+    ``theta >= ln(2/delta) / (2 epsilon^2)`` guarantees the empirical mean of
+    bounded variables deviates from the true mean by at most ``epsilon`` with
+    probability at least ``1 - delta``.  Used by tests as a reference point.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return int(math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural logarithm of the binomial coefficient ``C(n, k)``.
+
+    Computed through ``lgamma`` so the sample-size formulas stay finite even
+    for the very large ``C(|Omega|, k)`` terms appearing in Eqn. 2 / Eqn. 7.
+    """
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def log_sum_binomials(n: int, max_k: int) -> float:
+    """``log(sum_{i=1..max_k} C(n, i))`` computed stably (phi_K in Eqn. 7)."""
+    if max_k <= 0:
+        return float("-inf")
+    max_k = min(max_k, n)
+    logs = [log_binomial(n, i) for i in range(1, max_k + 1)]
+    peak = max(logs)
+    return peak + math.log(sum(math.exp(value - peak) for value in logs))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` with a guard for a zero ground truth."""
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean / variance via Welford's algorithm.
+
+    Used by the convergence experiment to track the influence estimate as a
+    function of the number of samples without storing every sample.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Incorporate one observation."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Incorporate several observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def confidence_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation confidence half-width around the mean."""
+        if self.count == 0:
+            return float("inf")
+        return z * self.std / math.sqrt(self.count)
+
+
+@dataclass
+class Series:
+    """A labelled (x, y) series used by the reporting helpers."""
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def as_rows(self) -> List[tuple]:
+        """Rows of ``(label, x, y)`` suitable for tabular printing."""
+        return [(self.label, x, y) for x, y in zip(self.xs, self.ys)]

@@ -1,0 +1,151 @@
+"""Timing and counting helpers used by the benchmark harness.
+
+The paper reports wall-clock time per query (Figs. 7, 9, 11, 12, 14), index
+construction time (Table 3) and the number of edge probes performed by online
+samplers (Fig. 13).  :class:`Stopwatch` and :class:`Counter` provide the two
+measurement primitives; :class:`TimingRecord` aggregates repeated measurements
+into the mean / percentile summaries printed by the harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch:
+            run_query()
+        print(watch.elapsed)
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and accumulate the elapsed time."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Reset the accumulated time."""
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class Counter:
+    """A named bag of integer counters (edge probes, cache hits, prunes...)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created lazily)."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def reset(self, name: Optional[str] = None) -> None:
+        """Reset one counter, or all counters when ``name`` is ``None``."""
+        if name is None:
+            self._counts.clear()
+        else:
+            self._counts.pop(name, None)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A copy of all counters."""
+        return dict(self._counts)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self._counts!r})"
+
+
+@dataclass
+class TimingRecord:
+    """Aggregates repeated measurements of one (method, setting) cell.
+
+    The benchmark harness runs each configuration over many queries and reports
+    the mean, which matches the paper's methodology ("average the results of
+    the queries", Sec. 7.1).
+    """
+
+    label: str
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one measurement."""
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded measurements."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of recorded measurements."""
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        """Mean of recorded measurements (0.0 when empty)."""
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        """Smallest recorded measurement (0.0 when empty)."""
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest recorded measurement (0.0 when empty)."""
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (linear interpolation) of the measurements."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * (q / 100.0)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def merge(self, other: "TimingRecord") -> "TimingRecord":
+        """Return a new record containing the samples of both records."""
+        merged = TimingRecord(label=self.label)
+        merged.samples = list(self.samples) + list(other.samples)
+        return merged

@@ -1,0 +1,72 @@
+"""Argument-validation helpers shared by public API entry points.
+
+The helpers raise the library's own exception types (see
+:mod:`repro.exceptions`) so callers can catch configuration problems separately
+from runtime failures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sized
+
+from repro.exceptions import InvalidParameterError
+
+
+def ensure_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_non_negative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise InvalidParameterError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def ensure_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval ``[0, 1]``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def ensure_in_range(value: float, name: str, low: float, high: float, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if inclusive:
+        if not low <= value <= high:
+            raise InvalidParameterError(f"{name} must lie in [{low}, {high}], got {value}")
+    else:
+        if not low < value < high:
+            raise InvalidParameterError(f"{name} must lie in ({low}, {high}), got {value}")
+    return value
+
+
+def ensure_non_empty(items: Sized, name: str) -> Sized:
+    """Validate that a sized collection contains at least one element."""
+    if len(items) == 0:
+        raise InvalidParameterError(f"{name} must not be empty")
+    return items
+
+
+def ensure_unique(items: Iterable, name: str) -> None:
+    """Validate that an iterable contains no duplicated elements."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise InvalidParameterError(f"{name} contains duplicate element {item!r}")
+        seen.add(item)

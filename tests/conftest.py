@@ -1,0 +1,73 @@
+"""Shared fixtures for the PITEX reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.graph.generators import line_graph, random_topic_graph
+from repro.sampling.base import SampleBudget
+from repro.topics.model import TagTopicModel
+
+
+@pytest.fixture
+def paper_example():
+    """The running example of Fig. 2 (tags w1..w4, topics z1..z3, 7 users).
+
+    The tag-topic matrix is taken verbatim from Fig. 2(b); the graph follows
+    the topology of Fig. 2(a) with representative probabilities.  The fixture
+    returns ``(graph, model)``; the documented property of the example --
+    ``p((u1,u2) | {w1,w2}) = 0.2`` under the uniform prior -- is asserted in
+    the topics tests.
+    """
+    # p(w|z) rows: w1..w4, columns z1..z3.
+    matrix = np.array(
+        [
+            [0.6, 0.4, 0.0],
+            [0.4, 0.6, 0.0],
+            [0.0, 0.4, 0.6],
+            [0.0, 0.4, 0.6],
+        ]
+    )
+    model = TagTopicModel(matrix, tags=["w1", "w2", "w3", "w4"])
+    graph = TopicSocialGraph(7, 3, vertex_labels=[f"u{i + 1}" for i in range(7)])
+    # Vertex ids: u1=0, u2=1, u3=2, u4=3, u5=4, u6=5, u7=6.
+    graph.add_edge(0, 1, [0.4, 0.0, 0.0])   # u1 -> u2
+    graph.add_edge(0, 2, [0.5, 0.0, 0.0])   # u1 -> u3
+    graph.add_edge(2, 3, [0.0, 0.0, 0.8])   # u3 -> u4
+    graph.add_edge(2, 4, [0.0, 0.5, 0.5])   # u3 -> u5
+    graph.add_edge(3, 5, [0.0, 0.0, 0.5])   # u4 -> u6
+    graph.add_edge(3, 6, [0.0, 0.0, 0.4])   # u4 -> u7
+    graph.add_edge(5, 6, [0.0, 0.0, 0.5])   # u6 -> u7
+    return graph, model
+
+
+@pytest.fixture
+def small_graph():
+    """A 12-vertex random topic graph used by many unit tests."""
+    return random_topic_graph(12, 3, edge_probability=0.2, base_probability=0.4, seed=11)
+
+
+@pytest.fixture
+def small_model():
+    """A 6-tag / 3-topic model compatible with ``small_graph``."""
+    rng = np.random.default_rng(5)
+    matrix = rng.uniform(0.0, 1.0, size=(6, 3))
+    matrix[matrix < 0.35] = 0.0
+    matrix[0, 0] = 0.7  # make sure no all-zero row
+    matrix[1, 1] = 0.6
+    matrix[2, 2] = 0.5
+    return TagTopicModel(matrix)
+
+
+@pytest.fixture
+def tiny_budget():
+    """A small sampling budget keeping tests fast."""
+    return SampleBudget(epsilon=0.7, delta=100.0, k=2, num_tags=6, max_samples=200, min_samples=50)
+
+
+@pytest.fixture
+def deterministic_line():
+    """A 5-vertex line graph with probability 1 edges: exact spread is 5."""
+    return line_graph(5, probability=1.0, num_topics=2)

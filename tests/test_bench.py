@@ -1,0 +1,138 @@
+"""Tests for the benchmark configuration, harness and reporting helpers.
+
+The heavyweight experiment drivers themselves run under ``benchmarks/``; here
+we check the plumbing (caching, aggregation, table formatting) and run the two
+cheapest drivers end to end on a miniature configuration.
+"""
+
+import pytest
+
+from repro.bench.config import BenchmarkConfig
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    experiment_table2,
+    experiment_table3,
+)
+from repro.bench.harness import BenchmarkHarness
+from repro.bench.reporting import ExperimentResult, format_results, format_table
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def mini_harness():
+    config = BenchmarkConfig(
+        datasets=("lastfm",),
+        scales={"lastfm": 0.1},
+        queries_per_group=1,
+        k=2,
+        max_samples=60,
+        index_samples=120,
+        seed=3,
+    )
+    return BenchmarkHarness(config)
+
+
+def test_config_presets():
+    smoke = BenchmarkConfig.preset("smoke")
+    default = BenchmarkConfig.preset("default")
+    full = BenchmarkConfig.preset("full")
+    assert smoke.queries_per_group < default.queries_per_group < full.queries_per_group
+    assert full.scales["twitter"] == 1.0
+    with pytest.raises(InvalidParameterError):
+        BenchmarkConfig.preset("huge")
+
+
+def test_config_scale_and_overrides():
+    config = BenchmarkConfig()
+    assert config.scale_of("lastfm") == 0.35
+    assert config.scale_of("unknown") == 1.0
+    other = config.with_overrides(k=5)
+    assert other.k == 5 and config.k == 2
+
+
+def test_harness_caches_datasets_and_engines(mini_harness):
+    first = mini_harness.dataset("lastfm")
+    second = mini_harness.dataset("lastfm")
+    assert first is second
+    engine_a = mini_harness.engine("lastfm")
+    engine_b = mini_harness.engine("lastfm")
+    assert engine_a is engine_b
+    # Different parameterizations are cached separately.
+    other = mini_harness.dataset("lastfm", num_tags=20)
+    assert other is not first
+    assert other.model.num_tags == 20
+
+
+def test_harness_query_users_and_batch(mini_harness):
+    users = mini_harness.query_users("lastfm", "mid", 2)
+    assert len(users) == 2
+    batch = mini_harness.run_query_batch("lastfm", "lazy", users[:1], group="mid")
+    assert batch.method == "lazy"
+    assert batch.num_queries == 1
+    assert batch.mean_seconds > 0.0
+    assert batch.mean_spread >= 1.0
+
+
+def test_harness_estimate_batch(mini_harness):
+    users = mini_harness.query_users("lastfm", "mid", 1)
+    seconds, value, edges = mini_harness.estimate_batch("lastfm", "lazy", users, (0, 1))
+    assert seconds >= 0.0
+    assert value >= 0.0
+    assert edges >= 0.0
+
+
+def test_experiment_registry_covers_all_tables_and_figures():
+    expected = {
+        "table2",
+        "table3",
+        "table4",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_experiment_table2_rows(mini_harness):
+    result = experiment_table2(mini_harness)
+    assert result.columns[0] == "dataset"
+    assert len(result.rows) == 1
+    assert result.rows[0][0] == "lastfm"
+    assert result.cell("num_vertices", dataset="lastfm") == mini_harness.dataset("lastfm").graph.num_vertices
+
+
+def test_experiment_table3_shape(mini_harness):
+    result = experiment_table3(mini_harness)
+    indexes = result.column("index")
+    assert indexes.count("rr-graphs") == 1
+    assert indexes.count("delaymat") == 1
+    rr_size = result.cell("size_mb", dataset="lastfm", index="rr-graphs")
+    delay_size = result.cell("size_mb", dataset="lastfm", index="delaymat")
+    assert delay_size < rr_size
+
+
+def test_experiment_result_helpers():
+    result = ExperimentResult(
+        experiment="x", title="demo", columns=("a", "b")
+    )
+    result.add_row(1, 2.0)
+    result.add_row(1, 4.0)
+    with pytest.raises(ValueError):
+        result.add_row(1)
+    assert result.column("b") == [2.0, 4.0]
+    assert result.filter_rows(a=1)[0] == (1, 2.0)
+    assert result.cell("b", a=1) == 2.0
+    assert result.cell("b", a=99) is None
+    result.add_note("shape check")
+    text = format_table(result)
+    assert "demo" in text and "shape check" in text
+    limited = format_table(result, max_rows=1)
+    assert "more rows" in limited
+    combined = format_results([result, result])
+    assert combined.count("demo") == 2

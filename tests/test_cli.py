@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_requires_a_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_query_runs_and_prints_results(capsys):
+    exit_code = main(
+        [
+            "query",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "0.1",
+            "--group",
+            "mid",
+            "--num-queries",
+            "1",
+            "--k",
+            "2",
+            "--method",
+            "lazy",
+            "--max-samples",
+            "60",
+            "--index-samples",
+            "100",
+            "--seed",
+            "5",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "dataset: lastfm" in captured.out
+    assert "best 2-tag set" in captured.out
+
+
+def test_cli_query_rejects_unknown_method():
+    with pytest.raises(SystemExit):
+        main(["query", "--method", "magic"])
+
+
+def test_cli_bench_single_experiment(capsys):
+    exit_code = main(["bench", "--experiment", "table2", "--preset", "smoke", "--seed", "7"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "table2" in captured.out
+    assert "lastfm" in captured.out
+
+
+def test_cli_bench_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["bench", "--experiment", "fig99"])

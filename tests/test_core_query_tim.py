@@ -1,0 +1,101 @@
+"""Tests for the query value objects and the TIM tree-model baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import PitexQuery, PitexResult, TagSetEvaluation
+from repro.core.tim import TreeModelEstimator
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import TopicSocialGraph
+from repro.graph.generators import line_graph, random_topic_graph
+from repro.propagation.exact import exact_influence_spread
+from repro.sampling.base import SampleBudget
+from repro.topics.model import TagTopicModel
+
+
+def test_query_defaults_and_validation():
+    query = PitexQuery(user=3)
+    assert query.k == 3 and query.epsilon == 0.7 and query.delta == 1000.0
+    with pytest.raises(InvalidParameterError):
+        PitexQuery(user=-1)
+    with pytest.raises(InvalidParameterError):
+        PitexQuery(user=0, k=0)
+    with pytest.raises(InvalidParameterError):
+        PitexQuery(user=0, epsilon=1.5)
+    with pytest.raises(InvalidParameterError):
+        PitexQuery(user=0, delta=0.5)
+
+
+def test_tag_set_evaluation_ordering():
+    small = TagSetEvaluation(tag_ids=(0,), spread=1.0)
+    large = TagSetEvaluation(tag_ids=(1,), spread=2.0)
+    assert small < large
+    assert max([small, large]).spread == 2.0
+
+
+def test_result_top_and_describe():
+    query = PitexQuery(user=1, k=2)
+    result = PitexResult(
+        query=query,
+        tag_ids=(0, 1),
+        tags=("a", "b"),
+        spread=3.5,
+        method="lazy",
+        evaluations=[
+            TagSetEvaluation(tag_ids=(0, 1), spread=3.5),
+            TagSetEvaluation(tag_ids=(0, 2), spread=1.0),
+        ],
+    )
+    top = result.top(1)
+    assert top[0].spread == 3.5
+    description = result.describe()
+    assert "a, b" in description
+    assert "lazy" in description
+
+
+def test_tree_model_exact_on_a_path():
+    """On a path there is a single path to every vertex: tree model is exact."""
+    graph = line_graph(4, probability=0.5)
+    model = TagTopicModel(np.ones((2, 1)))
+    estimator = TreeModelEstimator(graph, model, SampleBudget(num_tags=2, k=1), path_threshold=1e-9)
+    probabilities = np.full(3, 0.5)
+    estimate = estimator.estimate_with_probabilities(0, probabilities)
+    assert estimate.value == pytest.approx(1 + 0.5 + 0.25 + 0.125)
+    assert estimate.method == "tim"
+
+
+def test_tree_model_underestimates_with_multiple_paths():
+    """With several disjoint paths the tree model ignores all but the best one."""
+    graph = TopicSocialGraph(4, 1)
+    graph.add_edge(0, 1, [0.5])
+    graph.add_edge(0, 2, [0.5])
+    graph.add_edge(1, 3, [0.5])
+    graph.add_edge(2, 3, [0.5])
+    probabilities = graph.max_edge_probabilities()
+    model = TagTopicModel(np.ones((2, 1)))
+    estimator = TreeModelEstimator(graph, model, SampleBudget(num_tags=2, k=1), path_threshold=1e-9)
+    tree_value = estimator.estimate_with_probabilities(0, probabilities).value
+    exact = exact_influence_spread(graph, 0, probabilities)
+    assert tree_value < exact
+    # Specifically the probability of reaching vertex 3 is 1-(1-0.25)^2 = 0.4375 but
+    # the tree model only credits the best path (0.25).
+    assert tree_value == pytest.approx(1 + 0.5 + 0.5 + 0.25)
+
+
+def test_tree_model_threshold_prunes_far_vertices():
+    graph = line_graph(8, probability=0.3)
+    model = TagTopicModel(np.ones((2, 1)))
+    loose = TreeModelEstimator(graph, model, path_threshold=1e-9)
+    tight = TreeModelEstimator(graph, model, path_threshold=0.01)
+    probabilities = np.full(7, 0.3)
+    assert tight.estimate_with_probabilities(0, probabilities).value <= loose.estimate_with_probabilities(0, probabilities).value
+
+
+def test_tree_model_is_deterministic():
+    graph = random_topic_graph(30, 2, edge_probability=0.2, seed=3)
+    model = TagTopicModel(np.ones((3, 2)))
+    estimator = TreeModelEstimator(graph, model)
+    probabilities = graph.max_edge_probabilities()
+    first = estimator.estimate_with_probabilities(0, probabilities).value
+    second = estimator.estimate_with_probabilities(0, probabilities).value
+    assert first == second

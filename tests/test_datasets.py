@@ -1,0 +1,130 @@
+"""Tests for the dataset profiles, synthetic generation, workloads and case study."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.casestudy import FIELD_KEYWORDS, RESEARCHERS, build_case_study
+from repro.datasets.profiles import PROFILES, get_profile, profile_names
+from repro.datasets.synthetic import generate_dataset, load_dataset, make_tag_topic_matrix
+from repro.datasets.workload import build_workload
+from repro.exceptions import InvalidParameterError
+
+
+def test_profiles_match_table2_reference_values():
+    assert profile_names() == ["lastfm", "diggs", "dblp", "twitter"]
+    lastfm = get_profile("lastfm")
+    assert lastfm.paper_vertices == 1_300
+    assert lastfm.num_topics == 20 and lastfm.num_tags == 50
+    dblp = get_profile("dblp")
+    assert dblp.num_topics == 9 and dblp.num_tags == 276
+    twitter = get_profile("twitter")
+    assert twitter.num_topics == 50 and twitter.num_tags == 250
+    assert twitter.average_degree == pytest.approx(1.2)
+
+
+def test_profile_lookup_and_scaling():
+    with pytest.raises(InvalidParameterError):
+        get_profile("facebook")
+    profile = get_profile("LASTFM")
+    assert profile.name == "lastfm"
+    assert profile.scaled_vertices(0.5) == 650
+    with pytest.raises(InvalidParameterError):
+        profile.scaled_vertices(0.0)
+    row = profile.table2_row(1.0)
+    assert row[0] == "lastfm" and row[1] == 1300
+
+
+def test_make_tag_topic_matrix_density_and_normalization():
+    matrix = make_tag_topic_matrix(40, 10, density=0.2, seed=3)
+    density = np.count_nonzero(matrix) / matrix.size
+    assert abs(density - 0.2) < 0.05
+    assert np.allclose(matrix.sum(axis=0), 1.0)
+    with pytest.raises(InvalidParameterError):
+        make_tag_topic_matrix(10, 5, density=0.0)
+
+
+def test_generate_dataset_respects_profile(tmp_path):
+    dataset = load_dataset("lastfm", scale=0.2, seed=11)
+    profile = get_profile("lastfm")
+    assert dataset.graph.num_vertices == profile.scaled_vertices(0.2)
+    assert dataset.graph.num_topics == profile.num_topics
+    assert dataset.model.num_tags == profile.num_tags
+    # Density within a factor ~2 of the target (the generator tops up edges).
+    assert dataset.graph.density() == pytest.approx(profile.average_degree, rel=0.5)
+    # Tag-topic density close to the published value.
+    assert dataset.model.tag_topic_density() == pytest.approx(profile.tag_topic_density, abs=0.06)
+    row = dataset.table2_row()
+    assert row[0] == "lastfm"
+    assert "lastfm" in dataset.describe()
+
+
+def test_generate_dataset_overrides_tags_and_topics():
+    dataset = load_dataset("twitter", scale=0.05, num_tags=30, num_topics=10, seed=2)
+    assert dataset.model.num_tags == 30
+    assert dataset.graph.num_topics == 10
+
+
+def test_generate_dataset_reproducible():
+    a = load_dataset("diggs", scale=0.1, seed=5)
+    b = load_dataset("diggs", scale=0.1, seed=5)
+    assert a.graph.num_edges == b.graph.num_edges
+    assert np.allclose(a.model.tag_topic_matrix, b.model.tag_topic_matrix)
+
+
+def test_dataset_workload_and_most_influential_user():
+    dataset = load_dataset("lastfm", scale=0.2, seed=11)
+    users = dataset.workload("mid", 5)
+    assert len(users) == 5
+    degrees = dataset.graph.out_degrees()
+    assert all(degrees[u] > 0 for u in users)
+    top_user = dataset.most_influential_user()
+    assert degrees[top_user] == degrees.max()
+
+
+def test_workload_groups_and_errors():
+    dataset = load_dataset("lastfm", scale=0.2, seed=11)
+    workload = dataset.query_workload
+    sizes = workload.group_sizes()
+    assert sizes["high"] >= 1 and sizes["low"] >= 1
+    high_user = workload.users("high", 1)[0]
+    assert workload.group_of(high_user) == "high"
+    with pytest.raises(InvalidParameterError):
+        workload.users("medium", 3)
+    with pytest.raises(InvalidParameterError):
+        workload.users("high", 0)
+    # Asking for more users than the group holds cycles deterministically.
+    many = workload.users("high", sizes["high"] + 3)
+    assert len(many) == sizes["high"] + 3
+
+
+def test_build_workload_directly():
+    dataset = load_dataset("diggs", scale=0.1, seed=1)
+    workload = build_workload(dataset.graph, seed=4)
+    assert set(workload.group_sizes()) == {"high", "mid", "low"}
+
+
+def test_case_study_structure():
+    case = build_case_study(members_per_field=10, followers_per_researcher=8, seed=3)
+    assert len(case.researchers) == 8
+    assert case.graph.num_topics == len(FIELD_KEYWORDS)
+    assert case.model.num_tags == sum(len(v) for v in FIELD_KEYWORDS.values())
+    for researcher in RESEARCHERS:
+        vertex = case.vertex_of(researcher.name)
+        assert case.graph.label_of(vertex) == researcher.name
+        # Renowned researchers are hubs: they influence many community members.
+        assert case.graph.out_degree(vertex) >= 8
+        truth = case.ground_truth_tags[researcher.name]
+        assert truth  # non-empty ground truth
+        for keyword in truth:
+            assert keyword in case.model.tags
+
+
+def test_case_study_accuracy_metric():
+    case = build_case_study(members_per_field=5, followers_per_researcher=4, seed=3)
+    name = RESEARCHERS[0].name
+    truth = sorted(case.ground_truth_tags[name])
+    assert case.accuracy(name, truth[:5]) == 1.0
+    assert case.accuracy(name, ["nonexistent-tag"] * 5) == 0.0
+    assert case.accuracy(name, []) == 0.0
+    mixed = truth[:2] + ["nonexistent-tag", "another-miss"]
+    assert case.accuracy(name, mixed) == pytest.approx(0.5)

@@ -1,0 +1,152 @@
+"""Edge-case and failure-injection tests across the public API.
+
+These cover the awkward inputs a downstream user will eventually produce:
+isolated users, out-of-range vertex ids, missing files, degenerate tag-topic
+matrices, k equal to the whole vocabulary, and engines built on graphs with a
+single possible influence path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PitexEngine
+from repro.exceptions import (
+    EstimationError,
+    GraphError,
+    InvalidParameterError,
+    UnknownVertexError,
+)
+from repro.graph.digraph import TopicSocialGraph
+from repro.graph.generators import line_graph, star_fan_out_graph
+from repro.graph.io import load_edge_list
+from repro.sampling.base import SampleBudget
+from repro.sampling.lazy import LazyPropagationEstimator
+from repro.sampling.monte_carlo import MonteCarloEstimator
+from repro.topics.model import TagTopicModel
+
+
+def two_topic_model(num_tags: int = 4) -> TagTopicModel:
+    matrix = np.zeros((num_tags, 2))
+    for tag in range(num_tags):
+        matrix[tag, tag % 2] = 0.8
+    return TagTopicModel(matrix)
+
+
+def test_estimator_rejects_unknown_vertex():
+    graph = line_graph(4, probability=0.5, num_topics=2)
+    estimator = MonteCarloEstimator(graph, two_topic_model(), SampleBudget(num_tags=4, k=1, max_samples=50))
+    with pytest.raises(UnknownVertexError):
+        estimator.estimate(99, (0,))
+
+
+def test_engine_query_for_sink_user_returns_seed_only_spread():
+    """A user with no outgoing edges influences only themselves, whatever the tags."""
+    graph = line_graph(4, probability=0.9, num_topics=2)
+    engine = PitexEngine(graph, two_topic_model(), max_samples=50, index_samples=100, seed=1)
+    result = engine.query(user=3, k=2, method="lazy")
+    assert result.spread == pytest.approx(1.0)
+    assert len(result.tag_ids) == 2
+
+
+def test_engine_query_with_k_equal_to_vocabulary():
+    graph = line_graph(3, probability=0.9, num_topics=2)
+    model = two_topic_model(num_tags=3)
+    engine = PitexEngine(graph, model, max_samples=50, index_samples=80, seed=1)
+    result = engine.query(user=0, k=3, method="lazy")
+    assert result.tag_ids == (0, 1, 2)
+    with pytest.raises(InvalidParameterError):
+        engine.query(user=0, k=4, method="lazy")
+
+
+def test_engine_query_on_star_counterexample_graph():
+    """The Fig. 3(a) graph: the root's spread is ~2 regardless of the method."""
+    graph = star_fan_out_graph(50, num_topics=2)
+    model = two_topic_model()
+    engine = PitexEngine(graph, model, epsilon=0.5, max_samples=400, index_samples=2000, seed=4)
+    lazy = engine.query(user=0, k=1, method="lazy")
+    indexed = engine.query(user=0, k=1, method="indexest")
+    assert lazy.spread == pytest.approx(2.0, rel=0.35)
+    assert indexed.spread == pytest.approx(lazy.spread, rel=0.5, abs=0.5)
+
+
+def test_all_zero_tag_topic_row_is_rejected_gracefully():
+    matrix = np.array([[0.0, 0.0], [0.5, 0.5]])
+    model = TagTopicModel(matrix)  # allowed: the row simply supports nothing
+    graph = line_graph(3, probability=0.5, num_topics=2)
+    estimator = LazyPropagationEstimator(graph, model, SampleBudget(num_tags=2, k=1, max_samples=50), seed=1)
+    estimate = estimator.estimate(0, (0,))
+    assert estimate.value == 1.0  # unsupported tag -> zero posterior -> seed only
+
+
+def test_load_edge_list_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_edge_list(tmp_path / "does_not_exist.txt")
+
+
+def test_graph_probabilities_must_match_topic_count():
+    graph = TopicSocialGraph(3, 2)
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 1, [0.5, 0.5, 0.5])
+
+
+def test_exact_oracle_isolated_vertex():
+    from repro.propagation.exact import exact_influence_spread
+
+    graph = TopicSocialGraph(3, 1)
+    graph.add_edge(1, 2, [0.5])
+    assert exact_influence_spread(graph, 0, graph.max_edge_probabilities()) == 1.0
+
+
+def test_engine_index_samples_default_uses_offline_formula():
+    graph = line_graph(5, probability=0.5, num_topics=2)
+    model = two_topic_model()
+    engine = PitexEngine(graph, model, max_samples=100, seed=1)
+    budget = SampleBudget(num_tags=model.num_tags, k=3, max_samples=100)
+    assert engine.index_samples == budget.offline_samples(graph.num_vertices)
+
+
+def test_engine_methods_share_dataset_level_indexes():
+    graph = line_graph(6, probability=0.6, num_topics=2)
+    model = two_topic_model()
+    engine = PitexEngine(graph, model, max_samples=60, index_samples=200, seed=2)
+    plain = engine.estimator("indexest")
+    pruned = engine.estimator("indexest+")
+    assert plain.index is pruned.index  # one shared RR-Graph materialization
+
+
+def test_sample_budget_min_samples_enforced():
+    budget = SampleBudget(num_tags=4, k=1, max_samples=1000, min_samples=128)
+    assert budget.online_samples(1) >= 128
+
+
+def test_result_tags_are_strings_from_the_model():
+    graph = line_graph(4, probability=0.8, num_topics=2)
+    model = TagTopicModel(np.array([[0.9, 0.0], [0.0, 0.9]]), tags=["alpha", "beta"])
+    engine = PitexEngine(graph, model, max_samples=60, index_samples=100, seed=5)
+    result = engine.query(user=0, k=1, method="lazy")
+    assert result.tags[0] in ("alpha", "beta")
+
+
+def test_delaymat_user_never_in_any_rr_graph():
+    """A vertex unreachable by anyone still gets a well-defined (zero) estimate."""
+    graph = TopicSocialGraph(4, 1)
+    graph.add_edge(1, 2, [0.5])
+    graph.add_edge(2, 3, [0.5])
+    from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
+
+    model = TagTopicModel(np.ones((2, 1)))
+    index = DelayedMaterializationIndex(graph, num_samples=100, seed=1).build()
+    estimator = DelayedIndexEstimator(graph, model, index, seed=2)
+    # Vertex 0 has no outgoing edges, so it can only appear in RR-Graphs rooted
+    # at itself; its containment count is positive but the estimate stays ~1.
+    estimate = estimator.estimate_with_probabilities(0, graph.max_edge_probabilities())
+    assert estimate.value <= 1.0 + 1e-9
+
+
+def test_invalid_method_and_exploration_rejected_before_work():
+    graph = line_graph(3, probability=0.5, num_topics=2)
+    engine = PitexEngine(graph, two_topic_model(), max_samples=50, index_samples=60, seed=1)
+    with pytest.raises(InvalidParameterError):
+        engine.query(user=0, method="quantum")
+    with pytest.raises(InvalidParameterError):
+        engine.query(user=0, exploration="random-walk")

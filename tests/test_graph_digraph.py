@@ -1,0 +1,136 @@
+"""Tests for repro.graph.digraph."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, UnknownEdgeError, UnknownVertexError
+from repro.graph.digraph import TopicSocialGraph
+
+
+def make_triangle():
+    graph = TopicSocialGraph(3, 2)
+    graph.add_edge(0, 1, [0.5, 0.2])
+    graph.add_edge(1, 2, [0.0, 0.9])
+    graph.add_edge(2, 0, [0.3, 0.3])
+    return graph
+
+
+def test_basic_sizes_and_density():
+    graph = make_triangle()
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 3
+    assert graph.num_topics == 2
+    assert graph.density() == pytest.approx(1.0)
+
+
+def test_constructor_rejects_bad_sizes():
+    with pytest.raises(GraphError):
+        TopicSocialGraph(0, 2)
+    with pytest.raises(GraphError):
+        TopicSocialGraph(3, 0)
+
+
+def test_constructor_rejects_wrong_label_count():
+    with pytest.raises(GraphError):
+        TopicSocialGraph(3, 2, vertex_labels=["a", "b"])
+
+
+def test_add_edge_rejects_self_loop_duplicate_and_bad_probabilities():
+    graph = TopicSocialGraph(3, 2)
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 0, [0.1, 0.1])
+    graph.add_edge(0, 1, [0.1, 0.1])
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 1, [0.2, 0.2])
+    with pytest.raises(GraphError):
+        graph.add_edge(1, 2, [0.1])
+    with pytest.raises(GraphError):
+        graph.add_edge(1, 2, [1.5, 0.0])
+    with pytest.raises(UnknownVertexError):
+        graph.add_edge(0, 9, [0.1, 0.1])
+
+
+def test_neighbors_and_degrees():
+    graph = make_triangle()
+    assert graph.out_neighbors(0) == [1]
+    assert graph.in_neighbors(0) == [2]
+    assert graph.out_degree(0) == 1
+    assert graph.in_degree(0) == 1
+    assert list(graph.out_degrees()) == [1, 1, 1]
+    assert list(graph.in_degrees()) == [1, 1, 1]
+
+
+def test_edge_lookup_and_endpoints():
+    graph = make_triangle()
+    edge_id = graph.edge_id(1, 2)
+    assert graph.edge_endpoints(edge_id) == (1, 2)
+    assert graph.has_edge(1, 2)
+    assert not graph.has_edge(2, 1)
+    with pytest.raises(UnknownEdgeError):
+        graph.edge_id(2, 1)
+    with pytest.raises(UnknownEdgeError):
+        graph.edge_endpoints(99)
+
+
+def test_probability_matrix_and_max_probabilities():
+    graph = make_triangle()
+    matrix = graph.probability_matrix
+    assert matrix.shape == (3, 2)
+    maxima = graph.max_edge_probabilities()
+    assert maxima[graph.edge_id(1, 2)] == pytest.approx(0.9)
+    assert graph.max_edge_probability(graph.edge_id(0, 1)) == pytest.approx(0.5)
+
+
+def test_edge_probabilities_under_posterior():
+    graph = make_triangle()
+    posterior = np.array([0.25, 0.75])
+    probabilities = graph.edge_probabilities_under(posterior)
+    expected = graph.probability_matrix @ posterior
+    assert np.allclose(probabilities, expected)
+    single = graph.edge_probability_under(graph.edge_id(0, 1), posterior)
+    assert single == pytest.approx(0.5 * 0.25 + 0.2 * 0.75)
+
+
+def test_edge_probabilities_under_wrong_length_raises():
+    graph = make_triangle()
+    with pytest.raises(GraphError):
+        graph.edge_probabilities_under([0.5])
+
+
+def test_labels_roundtrip():
+    graph = TopicSocialGraph(2, 1, vertex_labels=["alice", "bob"])
+    graph.add_edge(0, 1, [0.3])
+    assert graph.label_of(0) == "alice"
+    assert graph.vertex_by_label("bob") == 1
+    with pytest.raises(UnknownVertexError):
+        graph.vertex_by_label("carol")
+
+
+def test_copy_is_deep():
+    graph = make_triangle()
+    clone = graph.copy()
+    assert clone.num_edges == graph.num_edges
+    clone.add_edge(0, 2, [0.1, 0.1])
+    assert clone.num_edges == graph.num_edges + 1
+
+
+def test_subgraph_with_min_probability():
+    graph = make_triangle()
+    filtered = graph.subgraph_with_min_probability(0.4)
+    # only edges with max prob > 0.4 survive: (0,1) max 0.5 and (1,2) max 0.9
+    assert filtered.num_edges == 2
+    assert filtered.has_edge(0, 1)
+    assert filtered.has_edge(1, 2)
+
+
+def test_from_edges_builder_and_memory():
+    graph = TopicSocialGraph.from_edges(3, 1, [(0, 1, [0.5]), (1, 2, [0.5])])
+    assert graph.num_edges == 2
+    assert graph.memory_bytes() > 0
+
+
+def test_probability_matrix_empty_graph():
+    graph = TopicSocialGraph(3, 2)
+    assert graph.probability_matrix.shape == (0, 2)
+    assert graph.max_edge_probabilities().shape == (0,)
+    assert graph.edge_probabilities_under([0.5, 0.5]).shape == (0,)

@@ -1,0 +1,92 @@
+"""Tests for the RR-Graph structure (Definitions 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import TopicSocialGraph
+from repro.graph.generators import line_graph, random_topic_graph
+from repro.index.rr_graph import (
+    RRGraph,
+    generate_rr_graph,
+    structurally_reachable,
+    tag_aware_reachable,
+)
+from repro.utils.rng import RandomSource
+
+
+def test_generate_rr_graph_deterministic_chain():
+    """With probability-1 edges every upstream vertex joins the RR-Graph."""
+    graph = line_graph(5, probability=1.0)
+    rr = generate_rr_graph(graph, 4, RandomSource(1))
+    assert rr.vertices == {0, 1, 2, 3, 4}
+    assert rr.num_edges == 4
+    assert all(threshold <= 1.0 for threshold in rr.edge_thresholds)
+
+
+def test_generate_rr_graph_zero_probability_edges_excluded():
+    graph = line_graph(4, probability=0.0)
+    rr = generate_rr_graph(graph, 3, RandomSource(1))
+    assert rr.vertices == {3}
+    assert rr.num_edges == 0
+
+
+def test_generate_rr_graph_thresholds_below_max_probability():
+    graph = random_topic_graph(30, 2, edge_probability=0.3, base_probability=0.6, seed=2)
+    maxima = graph.max_edge_probabilities()
+    rr = generate_rr_graph(graph, 5, RandomSource(3))
+    for edge_id, threshold in zip(rr.edge_ids, rr.edge_thresholds):
+        assert threshold <= maxima[edge_id] + 1e-12
+
+
+def test_generate_rr_graph_membership_frequency_matches_reachability():
+    """The probability that u joins GRR_v equals Pr[u reaches v] under p(e)."""
+    graph = line_graph(3, probability=0.5)
+    rng = RandomSource(7)
+    contains = 0
+    trials = 4000
+    for _ in range(trials):
+        rr = generate_rr_graph(graph, 2, rng)
+        if 0 in rr.vertices:
+            contains += 1
+    assert contains / trials == pytest.approx(0.25, abs=0.03)
+
+
+def test_tag_aware_reachable_root_and_absent_vertices():
+    graph = line_graph(3, probability=1.0)
+    rr = generate_rr_graph(graph, 2, RandomSource(1))
+    reachable, checked = tag_aware_reachable(rr, 2, np.ones(2))
+    assert reachable and checked == 0
+    reachable, _ = tag_aware_reachable(rr, 99, np.ones(2))
+    assert not reachable
+
+
+def test_tag_aware_reachable_depends_on_probabilities():
+    graph = line_graph(3, probability=1.0)
+    rr = RRGraph(root=2, vertices={0, 1, 2})
+    rr.add_edge(graph.edge_id(0, 1), 0, 1, threshold=0.4)
+    rr.add_edge(graph.edge_id(1, 2), 1, 2, threshold=0.6)
+    high = np.array([0.7, 0.7])
+    low = np.array([0.5, 0.5])
+    assert tag_aware_reachable(rr, 0, high)[0]
+    assert not tag_aware_reachable(rr, 0, low)[0]  # the 0.6 threshold edge is dead
+    zero = np.zeros(2)
+    assert not tag_aware_reachable(rr, 0, zero)[0]
+
+
+def test_structurally_reachable_ignores_thresholds():
+    graph = line_graph(4, probability=1.0)
+    rr = generate_rr_graph(graph, 3, RandomSource(2))
+    assert structurally_reachable(rr, 0) == {0, 1, 2, 3}
+    assert structurally_reachable(rr, 99) == set()
+
+
+def test_rr_graph_adjacency_and_memory():
+    rr = RRGraph(root=3, vertices={1, 2, 3})
+    rr.add_edge(0, 1, 3, 0.2)
+    rr.add_edge(1, 2, 3, 0.5)
+    assert rr.out_edges_of(1) == [0]
+    assert sorted(rr.in_edges_of(3)) == [0, 1]
+    assert rr.num_vertices == 3
+    assert rr.num_edges == 2
+    assert rr.memory_bytes() > 0
+    assert rr.contains(2) and not rr.contains(9)

@@ -1,0 +1,103 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipeline the README advertises: generate (or learn) a
+dataset, build the engine, answer PITEX queries with different methods, and
+check the answers against brute-force ground truth or against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PitexEngine
+from repro.datasets.casestudy import build_case_study, evaluate_case_study
+from repro.datasets.synthetic import load_dataset
+from repro.graph.generators import random_topic_graph
+from repro.propagation.exact import exact_best_tag_set
+from repro.topics.action_log import generate_action_log
+from repro.topics.model import TagTopicModel
+from repro.topics.tic_learner import learn_tic_model
+
+
+def test_end_to_end_on_learned_parameters():
+    """Graph + synthetic log -> TIC learning -> PITEX query, all in one pipeline."""
+    truth_graph = random_topic_graph(25, 3, edge_probability=0.15, base_probability=0.5, seed=31)
+    truth_matrix = np.array(
+        [
+            [0.9, 0.0, 0.0],
+            [0.7, 0.2, 0.0],
+            [0.0, 0.9, 0.0],
+            [0.0, 0.6, 0.3],
+            [0.0, 0.0, 0.9],
+        ]
+    )
+    truth_model = TagTopicModel(truth_matrix)
+    log = generate_action_log(truth_graph, truth_model, num_items=60, tags_per_item=2, seeds_per_item=2, seed=7)
+    learned = learn_tic_model(truth_graph, log, num_topics=3, num_tags=truth_model.num_tags)
+    engine = PitexEngine(
+        learned.graph, learned.model, max_samples=150, index_samples=200, default_k=2, seed=3
+    )
+    degrees = learned.graph.out_degrees()
+    user = int(np.argmax(degrees))
+    result = engine.query(user=user, k=2, method="lazy")
+    assert len(result.tag_ids) == 2
+    assert result.spread >= 1.0
+
+
+def test_all_methods_agree_on_synthetic_dataset():
+    """On a small dataset, every method should return a near-top tag set."""
+    dataset = load_dataset("lastfm", scale=0.08, seed=19)  # ~100 vertices
+    engine = PitexEngine(
+        dataset.graph, dataset.model, epsilon=0.5, max_samples=300, index_samples=800, seed=19
+    )
+    user = dataset.workload("high", 1)[0]
+    spreads = {}
+    for method in ("lazy", "indexest", "indexest+", "delaymat"):
+        result = engine.query(user=user, k=2, method=method)
+        spreads[method] = result.spread
+        assert len(result.tag_ids) == 2
+    # The probabilistic methods agree within a generous band (eps = 0.5).
+    values = list(spreads.values())
+    assert max(values) <= 2.5 * max(min(values), 1.0)
+
+
+def test_index_methods_match_brute_force_optimum():
+    """On a tiny instance the index-based query finds the exact optimum."""
+    graph = random_topic_graph(12, 2, edge_probability=0.2, base_probability=0.7, seed=5)
+    matrix = np.array([[0.9, 0.0], [0.7, 0.1], [0.0, 0.9], [0.1, 0.7]])
+    model = TagTopicModel(matrix)
+    degrees = graph.out_degrees()
+    user = int(np.argmax(degrees))
+    expected_tags, expected_spread = exact_best_tag_set(graph, model, user, 2)
+    engine = PitexEngine(graph, model, epsilon=0.4, max_samples=600, index_samples=4000, seed=23)
+    result = engine.query(user=user, k=2, method="indexest+")
+    # The returned spread must be within the (1-eps)/(1+eps) band of the optimum
+    # even if the exact argmax differs among near-ties.
+    ratio = (1 - 0.4) / (1 + 0.4)
+    actual_spread = engine.estimate_influence(user, result.tag_ids, method="mc").value
+    assert actual_spread >= ratio * expected_spread * 0.8
+    assert result.spread > 1.0
+
+
+def test_case_study_accuracy_is_meaningful():
+    """The synthetic Table 4: returned tags mostly reflect the researchers' fields."""
+    case = build_case_study(members_per_field=12, followers_per_researcher=10, seed=11)
+    engine = PitexEngine(
+        case.graph, case.model, epsilon=0.6, max_samples=150, index_samples=600, default_k=5, seed=11
+    )
+    rows = evaluate_case_study(case, engine, k=5, method="indexest+")
+    assert len(rows) == 8
+    accuracies = [accuracy for _, _, accuracy in rows]
+    # Random tag selection would land around 10/45 = 0.22; the query should do
+    # clearly better on average.
+    assert float(np.mean(accuracies)) >= 0.5
+    for _, tags, _ in rows:
+        assert len(tags) == 5
+
+
+def test_workload_queries_run_for_all_groups():
+    dataset = load_dataset("diggs", scale=0.08, seed=29)
+    engine = PitexEngine(dataset.graph, dataset.model, max_samples=100, index_samples=200, seed=29)
+    for group in ("high", "mid", "low"):
+        user = dataset.workload(group, 1)[0]
+        result = engine.query(user=user, k=2, method="lazy")
+        assert result.spread >= 1.0

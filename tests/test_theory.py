@@ -1,0 +1,108 @@
+"""Tests for the hardness reductions of Sec. 3.2."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.theory.hardness import (
+    brute_force_k_label_reachability,
+    brute_force_set_cover,
+    pitex_decides_reachability,
+)
+from repro.theory.reductions import (
+    LabeledGraph,
+    SetCoverInstance,
+    k_label_reachability_to_pitex,
+    set_cover_to_k_label_reachability,
+    set_cover_to_pitex,
+)
+
+
+@pytest.fixture
+def coverable_instance():
+    """Universe {0..3}; subsets {0,1}, {2,3}, {1,2}: covered by 2 subsets."""
+    return SetCoverInstance(universe=(0, 1, 2, 3), subsets=((0, 1), (2, 3), (1, 2)))
+
+
+@pytest.fixture
+def hard_instance():
+    """Universe {0..3}; each subset covers one element: needs all 4 subsets."""
+    return SetCoverInstance(universe=(0, 1, 2, 3), subsets=((0,), (1,), (2,), (3,)))
+
+
+def test_set_cover_instance_validation():
+    with pytest.raises(InvalidParameterError):
+        SetCoverInstance(universe=(0, 1, 2), subsets=((0,),))
+
+
+def test_brute_force_set_cover(coverable_instance, hard_instance):
+    assert brute_force_set_cover(coverable_instance, 2)
+    assert not brute_force_set_cover(hard_instance, 2)
+    assert brute_force_set_cover(hard_instance, 4)
+
+
+def test_labeled_graph_reachability():
+    graph = LabeledGraph(num_vertices=3, num_labels=2)
+    graph.add_edge(0, 1, 0)
+    graph.add_edge(1, 2, 1)
+    assert graph.reaches(0, 2, {0, 1})
+    assert not graph.reaches(0, 2, {0})
+    with pytest.raises(InvalidParameterError):
+        graph.add_edge(0, 5, 0)
+    with pytest.raises(InvalidParameterError):
+        graph.add_edge(0, 1, 7)
+
+
+def test_lemma1_reduction_preserves_answers(coverable_instance, hard_instance):
+    for instance, k, expected in [
+        (coverable_instance, 2, True),
+        (coverable_instance, 1, False),
+        (hard_instance, 3, False),
+        (hard_instance, 4, True),
+    ]:
+        graph, source, target = set_cover_to_k_label_reachability(instance)
+        assert brute_force_k_label_reachability(graph, source, target, k) is expected
+        # ...and the reachability answer matches the set cover answer directly.
+        assert brute_force_set_cover(instance, k) is expected
+
+
+def test_theorem1_reduction_structure(coverable_instance):
+    labeled, source, target = set_cover_to_k_label_reachability(coverable_instance)
+    graph, model, user = k_label_reachability_to_pitex(labeled, source, target, padding=6)
+    assert user == source
+    assert graph.num_vertices == labeled.num_vertices + 6
+    assert model.num_tags == labeled.num_labels
+    assert model.num_topics == labeled.num_labels
+    # Selecting tag i concentrates the posterior on topic i (up to the
+    # smoothing floor used to keep multi-tag supports non-empty).
+    posterior = model.topic_posterior((0,))
+    assert posterior[0] == pytest.approx(1.0, abs=1e-4)
+    assert posterior.sum() == pytest.approx(1.0)
+
+
+def test_theorem1_padding_defaults_to_quadratic(coverable_instance):
+    labeled, source, target = set_cover_to_k_label_reachability(coverable_instance)
+    graph, _, _ = k_label_reachability_to_pitex(labeled, source, target)
+    n = labeled.num_vertices
+    assert graph.num_vertices == n + n * n - n
+
+
+def test_pitex_decides_set_cover(coverable_instance, hard_instance):
+    decision, spread = pitex_decides_reachability(coverable_instance, 2, padding=8)
+    assert decision is True
+    # Reaching t drags the whole padding chain along: spread far exceeds n-1.
+    assert spread >= coverable_instance.num_elements + 1 + 8
+    decision, spread = pitex_decides_reachability(coverable_instance, 1, padding=8)
+    assert decision is False
+    assert spread <= coverable_instance.num_elements
+    decision, _ = pitex_decides_reachability(hard_instance, 3, padding=8)
+    assert decision is False
+    decision, _ = pitex_decides_reachability(hard_instance, 4, padding=8)
+    assert decision is True
+
+
+def test_set_cover_to_pitex_composition(coverable_instance):
+    graph, model, user, target = set_cover_to_pitex(coverable_instance, padding=4)
+    assert user == 0
+    assert target == coverable_instance.num_elements
+    assert graph.num_vertices == coverable_instance.num_elements + 1 + 4
+    assert model.num_tags == coverable_instance.num_subsets

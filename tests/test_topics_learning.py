@@ -1,0 +1,139 @@
+"""Tests for the action log, the TIC learner and the LDA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.graph.generators import power_law_topic_graph, random_topic_graph
+from repro.topics.action_log import Action, ActionLog, generate_action_log
+from repro.topics.lda import LatentDirichletAllocation
+from repro.topics.model import TagTopicModel
+from repro.topics.tic_learner import learn_tic_model
+
+
+@pytest.fixture
+def learning_setup():
+    graph = random_topic_graph(30, 3, edge_probability=0.15, base_probability=0.5, seed=21)
+    matrix = np.array(
+        [
+            [0.9, 0.0, 0.0],
+            [0.8, 0.1, 0.0],
+            [0.0, 0.9, 0.0],
+            [0.0, 0.7, 0.2],
+            [0.0, 0.0, 0.9],
+            [0.1, 0.0, 0.8],
+        ]
+    )
+    model = TagTopicModel(matrix)
+    log = generate_action_log(graph, model, num_items=40, tags_per_item=2, seeds_per_item=2, seed=5)
+    return graph, model, log
+
+
+def test_action_log_bookkeeping():
+    log = ActionLog()
+    log.add_item(0, (1, 2))
+    log.add_item(1, (3,))
+    log.add_action(5, 0, 0)
+    log.add_action(6, 0, 1)
+    log.add_action(5, 1, 0)
+    assert log.num_items == 2
+    assert log.num_actions == 3
+    assert log.adopters(0) == {5, 6}
+    assert log.items_of_user(5) == {0, 1}
+    grouped = log.actions_by_item()
+    assert [a.user for a in grouped[0]] == [5, 6]
+    assert list(iter(log))[0] == Action(user=5, item=0, time=0)
+
+
+def test_generate_action_log_structure(learning_setup):
+    graph, model, log = learning_setup
+    assert log.num_items == 40
+    assert log.num_actions >= 40  # at least the seeds
+    for item, tags in log.item_tags.items():
+        assert 1 <= len(tags) <= 2
+        assert all(0 <= t < model.num_tags for t in tags)
+    for action in log:
+        assert 0 <= action.user < graph.num_vertices
+        assert action.time >= 0
+
+
+def test_generate_action_log_reproducible(learning_setup):
+    graph, model, _ = learning_setup
+    a = generate_action_log(graph, model, num_items=10, seed=3)
+    b = generate_action_log(graph, model, num_items=10, seed=3)
+    assert [(x.user, x.item, x.time) for x in a] == [(x.user, x.item, x.time) for x in b]
+
+
+def test_learn_tic_model_shapes_and_ranges(learning_setup):
+    graph, model, log = learning_setup
+    result = learn_tic_model(graph, log, num_topics=3, num_tags=model.num_tags, iterations=3)
+    assert result.graph.num_vertices == graph.num_vertices
+    assert result.graph.num_edges == graph.num_edges
+    assert result.graph.num_topics == 3
+    learned = result.graph.probability_matrix
+    assert np.all(learned >= 0.0) and np.all(learned <= 0.9)
+    assert result.model.num_tags == model.num_tags
+    assert result.model.num_topics == 3
+    assert result.topic_responsibilities.shape[1] == 3
+    assert result.iterations >= 1
+
+
+def test_learn_tic_model_recovers_active_edges(learning_setup):
+    """Edges along which propagation was observed should get positive probability."""
+    graph, model, log = learning_setup
+    result = learn_tic_model(graph, log, num_topics=3, num_tags=model.num_tags)
+    learned_max = result.graph.max_edge_probabilities()
+    # At least some edges are learned to be influential (the log is non-trivial).
+    assert learned_max.max() > 0.0
+
+
+def test_learn_tic_model_rejects_empty_log(learning_setup):
+    graph, _, _ = learning_setup
+    with pytest.raises(ModelError):
+        learn_tic_model(graph, ActionLog(), num_topics=2)
+    with pytest.raises(ModelError):
+        learn_tic_model(graph, ActionLog(), num_topics=0)
+
+
+def test_lda_recovers_block_structure():
+    """Two disjoint tag communities should end up dominated by different topics."""
+    rng = np.random.default_rng(0)
+    documents = []
+    for _ in range(40):
+        documents.append(list(rng.choice([0, 1, 2], size=6)))
+    for _ in range(40):
+        documents.append(list(rng.choice([3, 4, 5], size=6)))
+    lda = LatentDirichletAllocation(num_topics=2, iterations=30, seed=1)
+    result = lda.fit(documents, num_tags=6)
+    assert result.tag_topic.shape == (6, 2)
+    assert np.allclose(result.tag_topic.sum(axis=0), 1.0)
+    assert np.allclose(result.document_topic.sum(axis=1), 1.0)
+    # Documents from the two halves should lean towards different topics.
+    first_half = result.document_topic[:40].mean(axis=0)
+    second_half = result.document_topic[40:].mean(axis=0)
+    assert np.argmax(first_half) != np.argmax(second_half)
+    # The likelihood trace should not collapse.
+    assert result.log_likelihood_trace[-1] >= result.log_likelihood_trace[0] - 1e-6
+
+
+def test_lda_to_model_roundtrip():
+    documents = [[0, 1], [1, 2], [2, 0], [3, 3]]
+    lda = LatentDirichletAllocation(num_topics=2, iterations=10, seed=2)
+    result = lda.fit(documents)
+    model = result.to_model(tags=["a", "b", "c", "d"])
+    assert model.num_tags == 4
+    assert model.num_topics == 2
+    posterior = model.topic_posterior(("a",))
+    assert posterior.sum() == pytest.approx(1.0)
+
+
+def test_lda_input_validation():
+    with pytest.raises(ModelError):
+        LatentDirichletAllocation(num_topics=0)
+    with pytest.raises(ModelError):
+        LatentDirichletAllocation(num_topics=2, alpha=0.0)
+    lda = LatentDirichletAllocation(num_topics=2, iterations=2, seed=0)
+    with pytest.raises(ModelError):
+        lda.fit([])
+    with pytest.raises(ModelError):
+        lda.fit([[0, 1]], num_tags=1)

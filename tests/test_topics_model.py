@@ -1,0 +1,157 @@
+"""Tests for repro.topics.model (Eqn. 1 and the Lemma 8 bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, UnknownTagError
+from repro.topics.model import TagTopicModel
+
+
+def test_paper_running_example_edge_probability(paper_example):
+    """Fig. 2: p((u1,u2) | {w1,w2}) = 0.2 under the uniform prior."""
+    graph, model = paper_example
+    probability = model.edge_probability(graph, 0, 1, ("w1", "w2"))
+    assert probability == pytest.approx(0.2)
+
+
+def test_paper_running_example_posterior(paper_example):
+    _, model = paper_example
+    posterior = model.topic_posterior(("w1", "w2"))
+    # p(z|{w1,w2}) = (0.5, 0.5, 0.0): both z1 and z2 support the pair equally.
+    assert posterior == pytest.approx([0.5, 0.5, 0.0])
+    posterior_34 = model.topic_posterior(("w3", "w4"))
+    # {w3,w4}: likelihoods (0, 0.16, 0.36) -> normalized (0, 0.308, 0.692); the
+    # paper's Fig. 2(b) rounds this to (0, 0.33, 0.67).
+    assert posterior_34[0] == pytest.approx(0.0)
+    assert posterior_34[1] == pytest.approx(0.16 / 0.52)
+    assert posterior_34[2] == pytest.approx(0.36 / 0.52)
+
+
+def test_posterior_is_a_distribution_or_zero(small_model):
+    for tag_set in [(0,), (0, 1), (2, 3), (0, 1, 2)]:
+        posterior = small_model.topic_posterior(tag_set)
+        total = posterior.sum()
+        assert total == pytest.approx(1.0) or total == pytest.approx(0.0)
+        assert np.all(posterior >= 0.0)
+
+
+def test_empty_tag_set_returns_prior(small_model):
+    assert np.allclose(small_model.topic_posterior(()), small_model.topic_prior)
+
+
+def test_unsupported_tag_set_gives_zero_posterior():
+    matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+    model = TagTopicModel(matrix)
+    posterior = model.topic_posterior((0, 1))
+    assert np.allclose(posterior, 0.0)
+
+
+def test_resolve_tags_mixed_names_and_ids(paper_example):
+    _, model = paper_example
+    assert model.resolve_tags(["w1", 2]) == (0, 2)
+    assert model.resolve_tags(["w2", "w2"]) == (1,)
+    with pytest.raises(UnknownTagError):
+        model.resolve_tags(["nope"])
+    with pytest.raises(UnknownTagError):
+        model.resolve_tags([99])
+
+
+def test_tag_names_lookup(paper_example):
+    _, model = paper_example
+    assert model.tag_names([0, 3]) == ["w1", "w4"]
+    assert model.tag_id("w3") == 2
+    with pytest.raises(UnknownTagError):
+        model.tag_name(17)
+
+
+def test_constructor_validation():
+    with pytest.raises(ModelError):
+        TagTopicModel(np.array([1.0, 2.0]))  # not 2-D
+    with pytest.raises(ModelError):
+        TagTopicModel(np.array([[-0.1, 0.2]]))
+    with pytest.raises(ModelError):
+        TagTopicModel(np.ones((2, 2)), topic_prior=[1.0])
+    with pytest.raises(ModelError):
+        TagTopicModel(np.ones((2, 2)), topic_prior=[0.0, 0.0])
+    with pytest.raises(ModelError):
+        TagTopicModel(np.ones((2, 2)), tags=["a"])
+    with pytest.raises(ModelError):
+        TagTopicModel(np.ones((2, 2)), tags=["a", "a"])
+
+
+def test_prior_is_normalized():
+    model = TagTopicModel(np.ones((2, 2)), topic_prior=[2.0, 6.0])
+    assert model.topic_prior == pytest.approx([0.25, 0.75])
+
+
+def test_candidate_tag_sets_counts(paper_example):
+    _, model = paper_example
+    assert model.num_candidate_tag_sets(2) == 6
+    assert len(list(model.candidate_tag_sets(2))) == 6
+    with pytest.raises(ModelError):
+        list(model.candidate_tag_sets(0))
+    with pytest.raises(ModelError):
+        list(model.candidate_tag_sets(9))
+
+
+def test_edge_probabilities_reject_mismatched_graph(paper_example, small_graph):
+    _, model = paper_example  # 3 topics
+    # small_graph also has 3 topics so build an incompatible model instead
+    bad_model = TagTopicModel(np.ones((4, 2)))
+    with pytest.raises(ModelError):
+        bad_model.edge_probabilities(small_graph, (0,))
+
+
+def test_upper_bound_dominates_exact_probability(paper_example):
+    """Lemma 8: p+(e|W) >= p(e|W') for every completion W' of W."""
+    graph, model = paper_example
+    k = 2
+    for partial in [(), (0,), (1,), (2,), (3,)]:
+        bounds = model.upper_bound_edge_probabilities(graph, partial, k)
+        for completion in model.candidate_tag_sets(k):
+            if not set(partial).issubset(completion):
+                continue
+            exact = model.edge_probabilities(graph, completion)
+            assert np.all(bounds >= exact - 1e-9), (partial, completion)
+
+
+def test_upper_bound_empty_partial_equals_max_rule(paper_example):
+    """p+(e|empty) never exceeds max_z p(e|z) (the W.L.O.G. clause of Lemma 8)."""
+    graph, model = paper_example
+    bounds = model.upper_bound_edge_probabilities(graph, (), 2)
+    assert np.all(bounds <= graph.max_edge_probabilities() + 1e-12)
+
+
+def test_upper_bound_full_partial_is_still_valid(paper_example):
+    graph, model = paper_example
+    full = (2, 3)
+    bounds = model.upper_bound_edge_probabilities(graph, full, 2)
+    exact = model.edge_probabilities(graph, full)
+    assert np.all(bounds >= exact - 1e-9)
+
+
+def test_upper_bound_rejects_oversized_partial(paper_example):
+    graph, model = paper_example
+    with pytest.raises(ModelError):
+        model.upper_bound_edge_probabilities(graph, (0, 1, 2), 2)
+
+
+def test_jensen_ratios_shape_and_nonnegativity(paper_example):
+    _, model = paper_example
+    ratios = model.jensen_ratios()
+    assert ratios.shape == (4, 3)
+    assert np.all(ratios >= 0.0)
+
+
+def test_tag_topic_density(paper_example):
+    _, model = paper_example
+    # Fig. 2(b) has 8 non-zero entries out of 12.
+    assert model.tag_topic_density() == pytest.approx(8 / 12)
+
+
+def test_restrict_tags(paper_example):
+    _, model = paper_example
+    restricted = model.restrict_tags([0, 2])
+    assert restricted.num_tags == 2
+    assert restricted.tags == ["w1", "w3"]
+    assert np.allclose(restricted.tag_topic_matrix, model.tag_topic_matrix[[0, 2], :])

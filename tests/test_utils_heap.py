@@ -1,0 +1,81 @@
+"""Tests for repro.utils.heap."""
+
+import pytest
+
+from repro.utils.heap import LazyEdgeHeap, MaxHeap, MinHeap
+from repro.utils.rng import RandomSource
+
+
+def test_min_heap_orders_by_priority():
+    heap = MinHeap()
+    heap.push(3.0, "c")
+    heap.push(1.0, "a")
+    heap.push(2.0, "b")
+    assert heap.pop() == (1.0, "a")
+    assert heap.pop() == (2.0, "b")
+    assert heap.pop() == (3.0, "c")
+
+
+def test_min_heap_handles_equal_priorities_with_uncomparable_items():
+    heap = MinHeap()
+    heap.push(1.0, {"x": 1})
+    heap.push(1.0, {"y": 2})
+    first_priority, _ = heap.pop()
+    second_priority, _ = heap.pop()
+    assert first_priority == second_priority == 1.0
+
+
+def test_min_heap_peek_does_not_remove():
+    heap = MinHeap()
+    heap.push(5.0, "x")
+    assert heap.peek() == (5.0, "x")
+    assert len(heap) == 1
+
+
+def test_max_heap_orders_descending():
+    heap = MaxHeap()
+    for value in (1.0, 5.0, 3.0):
+        heap.push(value, value)
+    assert heap.pop()[0] == 5.0
+    assert heap.peek()[0] == 3.0
+    assert len(heap) == 2
+
+
+def test_lazy_edge_heap_drops_zero_probability_edges():
+    rng = RandomSource(1)
+    heap = LazyEdgeHeap([1, 2, 3], [0.5, 0.0, 0.3], rng.geometric)
+    assert heap.pending() == 2
+
+
+def test_lazy_edge_heap_probability_one_fires_every_visit():
+    rng = RandomSource(1)
+    heap = LazyEdgeHeap([7], [1.0], rng.geometric)
+    for _ in range(5):
+        assert heap.visit() == [7]
+
+
+def test_lazy_edge_heap_fire_frequency_matches_probability():
+    rng = RandomSource(3)
+    probability = 0.25
+    heap = LazyEdgeHeap([0], [probability], rng.geometric)
+    visits = 20000
+    fires = sum(len(heap.visit()) for _ in range(visits))
+    assert abs(fires / visits - probability) < 0.02
+
+
+def test_lazy_edge_heap_next_fire_none_when_empty():
+    rng = RandomSource(1)
+    heap = LazyEdgeHeap([], [], rng.geometric)
+    assert heap.next_fire() is None
+    assert heap.visit() == []
+
+
+def test_lazy_edge_heap_multiple_edges_independent_rates():
+    rng = RandomSource(11)
+    heap = LazyEdgeHeap([0, 1], [0.5, 0.1], rng.geometric)
+    counts = {0: 0, 1: 0}
+    for _ in range(10000):
+        for neighbor in heap.visit():
+            counts[neighbor] += 1
+    assert abs(counts[0] / 10000 - 0.5) < 0.03
+    assert abs(counts[1] / 10000 - 0.1) < 0.02

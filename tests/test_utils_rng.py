@@ -1,0 +1,110 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+def test_same_seed_gives_same_stream():
+    a = RandomSource(42)
+    b = RandomSource(42)
+    assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+
+def test_different_seeds_give_different_streams():
+    a = RandomSource(1)
+    b = RandomSource(2)
+    assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+
+def test_spawn_produces_independent_reproducible_children():
+    parent_a = RandomSource(7)
+    parent_b = RandomSource(7)
+    child_a = parent_a.spawn(3)
+    child_b = parent_b.spawn(3)
+    assert [child_a.uniform() for _ in range(3)] == [child_b.uniform() for _ in range(3)]
+
+
+def test_bernoulli_extremes():
+    rng = RandomSource(0)
+    assert rng.bernoulli(0.0) is False
+    assert rng.bernoulli(1.0) is True
+
+
+def test_bernoulli_frequency_close_to_probability():
+    rng = RandomSource(123)
+    draws = sum(rng.bernoulli(0.3) for _ in range(5000))
+    assert 0.25 < draws / 5000 < 0.35
+
+
+def test_geometric_zero_probability_is_effectively_never():
+    rng = RandomSource(0)
+    assert rng.geometric(0.0) > 10**12
+
+
+def test_geometric_one_probability_is_immediate():
+    rng = RandomSource(0)
+    assert rng.geometric(1.0) == 1
+
+
+def test_geometric_mean_matches_inverse_probability():
+    rng = RandomSource(9)
+    p = 0.2
+    draws = rng.geometrics(p, 20000)
+    assert abs(draws.mean() - 1.0 / p) < 0.3
+
+
+def test_integer_within_bounds():
+    rng = RandomSource(3)
+    values = [rng.integer(2, 5) for _ in range(100)]
+    assert all(2 <= v < 5 for v in values)
+
+
+def test_weighted_index_respects_weights():
+    rng = RandomSource(8)
+    counts = np.zeros(3)
+    for _ in range(6000):
+        counts[rng.weighted_index([0.0, 1.0, 3.0])] += 1
+    assert counts[0] == 0
+    assert counts[2] > counts[1]
+
+
+def test_weighted_index_rejects_all_zero_weights():
+    rng = RandomSource(1)
+    with pytest.raises(ValueError):
+        rng.weighted_index([0.0, 0.0])
+
+
+def test_choice_single_and_multiple():
+    rng = RandomSource(5)
+    items = ["a", "b", "c"]
+    single = rng.choice(items)
+    assert single in items
+    several = rng.choice(items, size=2, replace=False)
+    assert len(several) == 2
+    assert len(set(several)) == 2
+
+
+def test_shuffle_is_permutation():
+    rng = RandomSource(4)
+    items = list(range(20))
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+def test_dirichlet_sums_to_one():
+    rng = RandomSource(2)
+    draw = rng.dirichlet([0.5] * 4)
+    assert draw.shape == (4,)
+    assert abs(draw.sum() - 1.0) < 1e-9
+
+
+def test_spawn_rng_accepts_generator_and_source():
+    generator = np.random.default_rng(3)
+    source = spawn_rng(generator)
+    assert isinstance(source, RandomSource)
+    child = spawn_rng(source, salt=1)
+    assert isinstance(child, RandomSource)
+    assert child is not source

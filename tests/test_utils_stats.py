@@ -1,0 +1,98 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import (
+    RunningMean,
+    Series,
+    chernoff_failure_probability,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    hoeffding_sample_size,
+    log_binomial,
+    log_sum_binomials,
+    relative_error,
+)
+
+
+def test_chernoff_tails_decrease_with_delta():
+    assert chernoff_upper_tail(0.5) > chernoff_upper_tail(1.0)
+    assert chernoff_lower_tail(0.5) > chernoff_lower_tail(1.0)
+
+
+def test_chernoff_tails_reject_negative_delta():
+    with pytest.raises(ValueError):
+        chernoff_upper_tail(-0.1)
+    with pytest.raises(ValueError):
+        chernoff_lower_tail(-0.1)
+
+
+def test_chernoff_failure_probability_decreases_with_samples():
+    p_small = chernoff_failure_probability(100, 0.5, 0.2)
+    p_large = chernoff_failure_probability(1000, 0.5, 0.2)
+    assert p_large < p_small <= 1.0
+
+
+def test_chernoff_failure_probability_degenerate_inputs():
+    assert chernoff_failure_probability(0, 0.5, 0.2) == 1.0
+    assert chernoff_failure_probability(100, 0.0, 0.2) == 1.0
+
+
+def test_hoeffding_sample_size_monotone_in_accuracy():
+    assert hoeffding_sample_size(0.05, 0.05) > hoeffding_sample_size(0.1, 0.05)
+    assert hoeffding_sample_size(0.1, 0.01) > hoeffding_sample_size(0.1, 0.1)
+
+
+def test_hoeffding_sample_size_validates_inputs():
+    with pytest.raises(ValueError):
+        hoeffding_sample_size(1.5, 0.1)
+    with pytest.raises(ValueError):
+        hoeffding_sample_size(0.1, 0.0)
+
+
+def test_log_binomial_matches_math_comb():
+    assert abs(log_binomial(10, 3) - math.log(math.comb(10, 3))) < 1e-9
+    assert abs(log_binomial(50, 25) - math.log(math.comb(50, 25))) < 1e-6
+
+
+def test_log_binomial_out_of_range_is_minus_infinity():
+    assert log_binomial(5, 7) == float("-inf")
+    assert log_binomial(5, -1) == float("-inf")
+
+
+def test_log_sum_binomials_matches_direct_sum():
+    direct = sum(math.comb(20, i) for i in range(1, 4))
+    assert abs(log_sum_binomials(20, 3) - math.log(direct)) < 1e-9
+
+
+def test_relative_error_handles_zero_truth():
+    assert relative_error(0.5, 0.0) == 0.5
+    assert relative_error(5.0, 4.0) == 0.25
+
+
+def test_running_mean_matches_batch_statistics():
+    values = [1.0, 2.0, 3.0, 4.0, 10.0]
+    running = RunningMean()
+    running.extend(values)
+    assert abs(running.mean - sum(values) / len(values)) < 1e-12
+    mean = sum(values) / len(values)
+    expected_variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    assert abs(running.variance - expected_variance) < 1e-12
+    assert running.std == pytest.approx(expected_variance**0.5)
+
+
+def test_running_mean_confidence_shrinks_with_samples():
+    small = RunningMean()
+    small.extend([1.0, 2.0, 3.0])
+    large = RunningMean()
+    large.extend([1.0, 2.0, 3.0] * 50)
+    assert large.confidence_halfwidth() < small.confidence_halfwidth()
+
+
+def test_series_rows():
+    series = Series(label="lazy")
+    series.add(1, 2.0)
+    series.add(2, 3.0)
+    assert series.as_rows() == [("lazy", 1.0, 2.0), ("lazy", 2.0, 3.0)]
