@@ -5,8 +5,6 @@ and may drift apart slightly for large epsilon (fewer samples, noisier
 estimates), but all stay in the same band.
 """
 
-import numpy as np
-
 from repro.bench.experiments import experiment_fig10
 from repro.bench.reporting import format_table
 

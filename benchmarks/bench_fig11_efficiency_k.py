@@ -7,8 +7,6 @@ best-effort strategy prune most unsupported tag sets.
 
 import math
 
-import numpy as np
-
 from repro.bench.experiments import experiment_fig11
 from repro.bench.reporting import format_table
 

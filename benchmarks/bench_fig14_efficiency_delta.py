@@ -5,8 +5,6 @@ Paper shape: the running time of every method grows only mildly
 keep their advantage over online lazy sampling across the whole range.
 """
 
-import numpy as np
-
 from repro.bench.experiments import experiment_fig14
 from repro.bench.reporting import format_table
 

@@ -8,7 +8,13 @@ benchmarks/`` run.
 
 The default sizing is the ``smoke`` preset -- small synthetic analogues that
 keep the full suite in the minutes range on a laptop.  Set the environment
-variable ``PITEX_BENCH_PRESET=default`` (or ``full``) for larger runs.
+variable ``PITEX_BENCH_PRESET=default`` (or ``full``) for larger runs, or pass
+``--smoke`` to force the smoke preset regardless of the environment (this is
+what the CI bench-smoke job does for each ``bench_*.py`` file).
+
+Benchmark files are named ``bench_*.py`` on purpose: plain ``pytest`` from the
+repository root does not discover them (tier-1 stays fast), they run when
+named explicitly, e.g. ``pytest benchmarks/bench_fig12_scalability.py --smoke``.
 """
 
 from __future__ import annotations
@@ -21,9 +27,20 @@ from repro.bench.config import BenchmarkConfig
 from repro.bench.harness import BenchmarkHarness
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="force the tiny smoke preset regardless of PITEX_BENCH_PRESET",
+    )
+
+
 @pytest.fixture(scope="session")
-def bench_config() -> BenchmarkConfig:
+def bench_config(request) -> BenchmarkConfig:
     """The sizing preset used by the whole benchmark session."""
+    if request.config.getoption("--smoke", default=False):
+        return BenchmarkConfig.preset("smoke")
     preset = os.environ.get("PITEX_BENCH_PRESET", "smoke")
     return BenchmarkConfig.preset(preset)
 

@@ -14,7 +14,7 @@ density).  Three presets are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.exceptions import InvalidParameterError
 
@@ -45,6 +45,9 @@ class BenchmarkConfig:
         Online sampling methods compared by Fig. 6 / Fig. 13.
     seed:
         Base random seed.
+    kernel:
+        Sampling kernel for the engines: ``"csr"`` (vectorized, default) or
+        ``"dict"`` (per-edge reference walkers).
     """
 
     datasets: Tuple[str, ...] = ("lastfm", "diggs", "dblp", "twitter")
@@ -60,6 +63,7 @@ class BenchmarkConfig:
     methods: Tuple[str, ...] = ("rr", "mc", "lazy", "tim", "indexest", "indexest+", "delaymat")
     online_methods: Tuple[str, ...] = ("mc", "rr", "lazy")
     seed: int = 2017
+    kernel: str = "csr"
 
     def scale_of(self, dataset: str) -> float:
         """Scale factor for ``dataset`` (1.0 when not listed)."""

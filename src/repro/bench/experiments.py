@@ -78,12 +78,20 @@ def experiment_table3(harness: BenchmarkHarness) -> ExperimentResult:
             dataset.graph, harness.config.index_samples, seed=harness.config.seed
         ).build()
         rr_fp = measure_rr_index(rr_index, name)
-        result.add_row(name, rr_fp.name, round(rr_fp.size_megabytes, 4), round(rr_fp.build_seconds, 3), rr_fp.num_samples)
+        result.add_row(
+            name, rr_fp.name, round(rr_fp.size_megabytes, 4), round(rr_fp.build_seconds, 3), rr_fp.num_samples
+        )
         delayed = DelayedMaterializationIndex(
             dataset.graph, harness.config.index_samples, seed=harness.config.seed
         ).build()
         delay_fp = measure_delayed_index(delayed, name)
-        result.add_row(name, delay_fp.name, round(delay_fp.size_megabytes, 4), round(delay_fp.build_seconds, 3), delay_fp.num_samples)
+        result.add_row(
+            name,
+            delay_fp.name,
+            round(delay_fp.size_megabytes, 4),
+            round(delay_fp.build_seconds, 3),
+            delay_fp.num_samples,
+        )
     result.add_note("expected shape: delaymat size << rr-graphs size; delaymat builds faster")
     return result
 

@@ -64,6 +64,10 @@ class PitexEngine:
         Default number of tags per query.
     seed:
         Seed controlling every random choice of the engine.
+    kernel:
+        ``"csr"`` (default) runs the sampling estimators on the vectorized
+        CSR kernels; ``"dict"`` selects the per-edge reference walkers, kept
+        for equivalence testing and for the CSR-vs-dict benchmarks.
     """
 
     def __init__(
@@ -76,11 +80,15 @@ class PitexEngine:
         index_samples: Optional[int] = None,
         default_k: int = 3,
         seed: SeedLike = None,
+        kernel: str = "csr",
     ) -> None:
         if graph.num_topics != model.num_topics:
             raise InvalidParameterError(
                 f"graph has {graph.num_topics} topics but the model has {model.num_topics}"
             )
+        if kernel not in ("csr", "dict"):
+            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose 'csr' or 'dict'")
+        self.kernel = kernel
         self.graph = graph
         self.model = model
         self.budget = SampleBudget(
@@ -145,11 +153,17 @@ class PitexEngine:
             return cached
         seed = self._seed.spawn(hash(key) & 0xFFFF)
         if method == "mc":
-            estimator: InfluenceEstimator = MonteCarloEstimator(self.graph, self.model, budget, seed)
+            estimator: InfluenceEstimator = MonteCarloEstimator(
+                self.graph, self.model, budget, seed, kernel=self.kernel
+            )
         elif method == "rr":
-            estimator = ReverseReachableEstimator(self.graph, self.model, budget, seed)
+            estimator = ReverseReachableEstimator(
+                self.graph, self.model, budget, seed, kernel=self.kernel
+            )
         elif method == "lazy":
-            estimator = LazyPropagationEstimator(self.graph, self.model, budget, seed)
+            estimator = LazyPropagationEstimator(
+                self.graph, self.model, budget, seed, kernel=self.kernel
+            )
         elif method == "tim":
             estimator = TreeModelEstimator(self.graph, self.model, budget)
         elif method == "indexest":

@@ -9,10 +9,14 @@ carry topic-aware influence probabilities ``p(e|z)``.  This package provides:
   power-law generator used by the dataset profiles and the star / celebrity
   counterexample graphs of Fig. 3.
 * :mod:`~repro.graph.algorithms` -- BFS reachability (forward and reverse),
-  strongly connected components and degree-based user grouping.
+  vectorized live-edge possible-world kernels, strongly connected components
+  and degree-based user grouping.
+* :mod:`~repro.graph.csr` -- the compressed-sparse-row adjacency view cached
+  on every graph (``graph.csr``) that carries the sampling hot paths.
 * :mod:`~repro.graph.io` -- plain-text edge-list serialization.
 """
 
+from repro.graph.csr import CSRAdjacency
 from repro.graph.digraph import TopicSocialGraph, Edge
 from repro.graph.generators import (
     star_fan_out_graph,
@@ -26,6 +30,10 @@ from repro.graph.algorithms import (
     forward_reachable,
     reverse_reachable,
     reachable_with_probabilities,
+    reachable_mask,
+    reachable_vertices,
+    live_edge_world,
+    reverse_live_edge_world,
     strongly_connected_components,
     out_degree_groups,
 )
@@ -34,6 +42,7 @@ from repro.graph.io import save_edge_list, load_edge_list
 __all__ = [
     "TopicSocialGraph",
     "Edge",
+    "CSRAdjacency",
     "star_fan_out_graph",
     "celebrity_hub_graph",
     "random_topic_graph",
@@ -43,6 +52,10 @@ __all__ = [
     "forward_reachable",
     "reverse_reachable",
     "reachable_with_probabilities",
+    "reachable_mask",
+    "reachable_vertices",
+    "live_edge_world",
+    "reverse_live_edge_world",
     "strongly_connected_components",
     "out_degree_groups",
     "save_edge_list",

@@ -5,6 +5,21 @@ optionally on a per-edge probability vector (``p(e|W)``) so the same BFS code
 serves both "structural" reachability (which vertices could ever be influenced,
 ``R_W(u)`` in the paper) and "live-edge" reachability inside sampled possible
 worlds.
+
+Two families of kernels coexist:
+
+* **CSR kernels** (the default) -- frontier-at-a-time BFS over the cached
+  :class:`~repro.graph.csr.CSRAdjacency` arrays: one gather per frontier for
+  edge ids / endpoints, one batched ``rng`` draw for all coin flips of the
+  frontier.  These carry the sampling hot paths.
+* **dict kernels** (``kernel="dict"``) -- the original per-edge Python
+  walkers.  They remain as the reference implementation: the equivalence tests
+  assert both kernels agree, and the benchmarks time one against the other.
+
+Both kernels implement the same probabilistic processes; batched coin
+flipping changes the order in which uniforms are consumed, so per-seed sample
+paths differ between kernels while the sampled distributions are identical
+(the independent live-edge coupling argument of Lemma 6 applies unchanged).
 """
 
 from __future__ import annotations
@@ -14,7 +29,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.exceptions import UnknownVertexError
 from repro.graph.digraph import TopicSocialGraph
+from repro.utils.rng import RandomSource
+
+
+def _check_vertex(graph: TopicSocialGraph, vertex: int) -> None:
+    if not 0 <= vertex < graph.num_vertices:
+        raise UnknownVertexError(f"vertex {vertex} not in graph of size {graph.num_vertices}")
 
 
 def forward_reachable(
@@ -28,11 +50,15 @@ def forward_reachable(
     instance edges with ``p(e|W) > 0``, which yields the paper's ``R_W(u)``).
     The source itself is always included.
     """
+    _check_vertex(graph, source)
     visited = {source}
     queue = deque([source])
     while queue:
         vertex = queue.popleft()
-        for edge_id in graph.out_edges(vertex):
+        # borrow the internal adjacency list (read-only): the public
+        # out_edges() accessor returns a defensive copy per call, which
+        # would tax this reference walker on every dequeued vertex
+        for edge_id in graph._out[vertex]:
             if edge_allowed is not None and not edge_allowed(edge_id):
                 continue
             _, target = graph.edge_endpoints(edge_id)
@@ -48,11 +74,12 @@ def reverse_reachable(
     edge_allowed: Optional[Callable[[int], bool]] = None,
 ) -> Set[int]:
     """Vertices that can reach ``target`` following in-edges (reverse BFS)."""
+    _check_vertex(graph, target)
     visited = {target}
     queue = deque([target])
     while queue:
         vertex = queue.popleft()
-        for edge_id in graph.in_edges(vertex):
+        for edge_id in graph._in[vertex]:  # borrowed read-only, see forward_reachable
             if edge_allowed is not None and not edge_allowed(edge_id):
                 continue
             source, _ = graph.edge_endpoints(edge_id)
@@ -67,10 +94,56 @@ def reachable_with_probabilities(
     source: int,
     edge_probabilities: Sequence[float],
     threshold: float = 0.0,
+    kernel: str = "csr",
 ) -> Set[int]:
     """``R_W(u)``: vertices reachable from ``source`` via edges with ``p(e|W) > threshold``."""
     probabilities = np.asarray(edge_probabilities, dtype=float)
-    return forward_reachable(graph, source, lambda e: probabilities[e] > threshold)
+    if kernel == "dict":
+        return forward_reachable(graph, source, lambda e: probabilities[e] > threshold)
+    mask = reachable_mask(graph, source, probabilities, threshold)
+    return set(np.flatnonzero(mask).tolist())
+
+
+def reachable_mask(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_probabilities: np.ndarray,
+    threshold: float = 0.0,
+) -> np.ndarray:
+    """Boolean per-vertex membership of ``R_W(u)``, computed on the CSR arrays.
+
+    Frontier-at-a-time BFS: each round gathers every out-edge of the frontier
+    with two NumPy indexing operations, filters by ``p(e|W) > threshold`` and
+    flags the newly reached targets, so the per-edge work never touches the
+    interpreter.
+    """
+    _check_vertex(graph, source)
+    csr = graph.csr
+    visited = np.zeros(csr.num_vertices, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    while frontier.size:
+        positions = csr.out_positions(frontier)
+        if not positions.size:
+            break
+        allowed = edge_probabilities[csr.out_edge_ids[positions]] > threshold
+        targets = csr.out_targets[positions][allowed]
+        fresh = targets[~visited[targets]]
+        if not fresh.size:
+            break
+        visited[fresh] = True
+        frontier = np.unique(fresh)
+    return visited
+
+
+def reachable_vertices(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_probabilities: np.ndarray,
+    threshold: float = 0.0,
+) -> np.ndarray:
+    """``R_W(u)`` as a sorted ``int64`` array (CSR kernel)."""
+    return np.flatnonzero(reachable_mask(graph, source, edge_probabilities, threshold))
 
 
 def reachable_subgraph_edges(
@@ -99,12 +172,13 @@ def live_edge_reachable(
     latter feeding the Fig. 13 instrumentation.
     """
     probabilities = np.asarray(edge_probabilities, dtype=float)
+    _check_vertex(graph, source)
     activated = {source}
     queue = deque([source])
     probes = 0
     while queue:
         vertex = queue.popleft()
-        for edge_id in graph.out_edges(vertex):
+        for edge_id in graph._out[vertex]:  # borrowed read-only, see forward_reachable
             probability = probabilities[edge_id]
             if probability <= 0.0:
                 continue
@@ -126,12 +200,13 @@ def reverse_live_edge_reachable(
 ) -> Tuple[Set[int], int]:
     """One reverse possible world: vertices that reach ``target`` over live edges."""
     probabilities = np.asarray(edge_probabilities, dtype=float)
+    _check_vertex(graph, target)
     reached = {target}
     queue = deque([target])
     probes = 0
     while queue:
         vertex = queue.popleft()
-        for edge_id in graph.in_edges(vertex):
+        for edge_id in graph._in[vertex]:  # borrowed read-only, see forward_reachable
             probability = probabilities[edge_id]
             if probability <= 0.0:
                 continue
@@ -142,6 +217,96 @@ def reverse_live_edge_reachable(
             if uniform() < probability:
                 reached.add(source)
                 queue.append(source)
+    return reached, probes
+
+
+def live_edge_world(
+    graph: TopicSocialGraph,
+    source: int,
+    edge_probabilities: np.ndarray,
+    rng: RandomSource,
+    collect_edges: bool = False,
+) -> Tuple[np.ndarray, Optional[np.ndarray], int]:
+    """One forward possible world on the CSR arrays.
+
+    Returns ``(activated_mask, live_edge_ids, probes)``.  Every
+    positive-probability out-edge of every activated vertex receives exactly
+    one batched coin flip; ``probes`` counts those edges (the Fig. 13
+    instrumentation).  ``live_edge_ids`` is only materialized when
+    ``collect_edges`` is set (the delayed-materialization recovery needs the
+    live edges, the spread estimators only need the activation count).
+    """
+    _check_vertex(graph, source)
+    csr = graph.csr
+    activated = np.zeros(csr.num_vertices, dtype=bool)
+    activated[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    live_chunks: List[np.ndarray] = []
+    probes = 0
+    generator = rng.generator
+    while frontier.size:
+        positions = csr.out_positions(frontier)
+        if not positions.size:
+            break
+        edge_ids = csr.out_edge_ids[positions]
+        probabilities = edge_probabilities[edge_ids]
+        positive = probabilities > 0.0
+        probes += int(np.count_nonzero(positive))
+        edge_ids = edge_ids[positive]
+        if not edge_ids.size:
+            break
+        alive = generator.random(edge_ids.size) < probabilities[positive]
+        if collect_edges and alive.any():
+            live_chunks.append(edge_ids[alive])
+        targets = csr.out_targets[positions][positive][alive]
+        fresh = targets[~activated[targets]]
+        if fresh.size:
+            activated[fresh] = True
+            frontier = np.unique(fresh)
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+    live_edges = None
+    if collect_edges:
+        live_edges = np.concatenate(live_chunks) if live_chunks else np.empty(0, dtype=np.int64)
+    return activated, live_edges, probes
+
+
+def reverse_live_edge_world(
+    graph: TopicSocialGraph,
+    target: int,
+    edge_probabilities: np.ndarray,
+    rng: RandomSource,
+) -> Tuple[np.ndarray, int]:
+    """One reverse possible world on the CSR arrays.
+
+    Returns ``(reached_mask, probes)`` where ``reached_mask[v]`` says whether
+    ``v`` reaches ``target`` over live edges; the vectorized counterpart of
+    :func:`reverse_live_edge_reachable`.
+    """
+    _check_vertex(graph, target)
+    csr = graph.csr
+    reached = np.zeros(csr.num_vertices, dtype=bool)
+    reached[target] = True
+    frontier = np.array([target], dtype=np.int64)
+    probes = 0
+    generator = rng.generator
+    while frontier.size:
+        positions = csr.in_positions(frontier)
+        if not positions.size:
+            break
+        probabilities = edge_probabilities[csr.in_edge_ids[positions]]
+        positive = probabilities > 0.0
+        probes += int(np.count_nonzero(positive))
+        if not positive.any():
+            break
+        alive = generator.random(int(np.count_nonzero(positive))) < probabilities[positive]
+        sources = csr.in_sources[positions][positive][alive]
+        fresh = sources[~reached[sources]]
+        if fresh.size:
+            reached[fresh] = True
+            frontier = np.unique(fresh)
+        else:
+            frontier = np.empty(0, dtype=np.int64)
     return reached, probes
 
 

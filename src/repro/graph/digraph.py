@@ -5,8 +5,18 @@ It is an adjacency-list digraph over integer vertex ids ``0 .. n-1`` where each
 edge carries a vector of topic-conditioned influence probabilities ``p(e|z)``
 (Sec. 3.1 of the paper).  The class deliberately exposes only the operations
 the algorithms need -- neighbourhood iteration, per-edge probability lookups
-and the vectorized ``p(e|W)`` computation -- and keeps the storage simple
-(Python lists for adjacency, one ``numpy`` row per edge for probabilities).
+and the vectorized ``p(e|W)`` computation -- and keeps the construction-time
+storage simple (Python lists for adjacency, one ``numpy`` row per edge for
+probabilities).
+
+For the sampling hot paths the graph additionally exposes a cached
+:class:`~repro.graph.csr.CSRAdjacency` view (``graph.csr``): contiguous
+``indptr`` / ``indices`` / edge-id arrays for both the forward and the reverse
+adjacency.  The CSR cache is built once on first access and dropped whenever
+``add_edge`` mutates the graph, so array kernels never observe a stale
+adjacency.  Accessors such as :meth:`TopicSocialGraph.out_edges` return
+*copies* of the internal lists -- mutating a returned list can never corrupt
+the graph or desynchronize the CSR cache.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import GraphError, UnknownEdgeError, UnknownVertexError
+from repro.graph.csr import CSRAdjacency
 
 
 @dataclass(frozen=True)
@@ -68,6 +79,8 @@ class TopicSocialGraph:
         self._edge_probs: List[np.ndarray] = []
         self._prob_matrix: Optional[np.ndarray] = None
         self._max_probs: Optional[np.ndarray] = None
+        self._csr: Optional[CSRAdjacency] = None
+        self._version = 0
         if vertex_labels is not None:
             if len(vertex_labels) != num_vertices:
                 raise GraphError(
@@ -128,6 +141,8 @@ class TopicSocialGraph:
         self._in[target].append(edge_id)
         self._prob_matrix = None
         self._max_probs = None
+        self._csr = None
+        self._version += 1
         return edge_id
 
     # ----------------------------------------------------------------- access
@@ -154,14 +169,14 @@ class TopicSocialGraph:
             yield Edge(edge_id, self._edge_source[edge_id], self._edge_target[edge_id])
 
     def out_edges(self, vertex: int) -> List[int]:
-        """Edge ids leaving ``vertex``."""
+        """Edge ids leaving ``vertex`` (a defensive copy; see :meth:`csr`)."""
         self._check_vertex(vertex)
-        return self._out[vertex]
+        return list(self._out[vertex])
 
     def in_edges(self, vertex: int) -> List[int]:
-        """Edge ids entering ``vertex``."""
+        """Edge ids entering ``vertex`` (a defensive copy; see :meth:`csr`)."""
         self._check_vertex(vertex)
-        return self._in[vertex]
+        return list(self._in[vertex])
 
     def out_neighbors(self, vertex: int) -> List[int]:
         """Vertices directly influenced by ``vertex``."""
@@ -190,6 +205,31 @@ class TopicSocialGraph:
     def in_degrees(self) -> np.ndarray:
         """Vector of in-degrees for every vertex."""
         return np.array([len(adj) for adj in self._in], dtype=np.int64)
+
+    # -------------------------------------------------------------------- csr
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The cached CSR view of the adjacency (built on first access).
+
+        The returned structure is immutable and shared between callers; it is
+        rebuilt lazily after any :meth:`add_edge`, so holders of a stale
+        reference keep a consistent snapshot of the pre-mutation graph while
+        new calls observe the new edge.
+        """
+        if self._csr is None:
+            self._csr = CSRAdjacency.from_edges(
+                self._num_vertices, self._edge_source, self._edge_target
+            )
+        return self._csr
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; increments on every :meth:`add_edge`.
+
+        Long-lived consumers (indexes, estimators) can compare versions to
+        detect that a cached derived structure refers to an older graph.
+        """
+        return self._version
 
     # ----------------------------------------------------------- probabilities
     def topic_probabilities(self, edge_id: int) -> np.ndarray:

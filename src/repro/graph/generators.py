@@ -65,7 +65,9 @@ def _edge_topic_probabilities(
     return probabilities
 
 
-def star_fan_out_graph(num_leaves: int, num_topics: int = 1, leaf_probability: Optional[float] = None) -> TopicSocialGraph:
+def star_fan_out_graph(
+    num_leaves: int, num_topics: int = 1, leaf_probability: Optional[float] = None
+) -> TopicSocialGraph:
     """The Fig. 3(a) counterexample: a root with an edge of probability ``1/n`` to each leaf.
 
     A user with many followers but low per-follower impact.  Monte-Carlo

@@ -20,12 +20,13 @@ Algorithm 3 guarantee while the stored index shrinks to one counter per user.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.exceptions import IndexNotBuiltError
+from repro.graph.algorithms import live_edge_world
+from repro.graph.csr import csr_order, slice_positions
 from repro.graph.digraph import TopicSocialGraph
 from repro.index.pruning import choose_edge_cut
 from repro.index.rr_graph import RRGraph, generate_rr_graph, tag_aware_reachable
@@ -45,6 +46,7 @@ class DelayedMaterializationIndex:
         self.containment_counts: Dict[int, int] = {}
         self.build_seconds: float = 0.0
         self._built = False
+        self._built_version: Optional[int] = None
 
     def build(self) -> "DelayedMaterializationIndex":
         """Sample ``theta`` RR-Graphs, record only per-user containment counts."""
@@ -57,66 +59,77 @@ class DelayedMaterializationIndex:
             for vertex in rr_graph.vertices:
                 self.containment_counts[vertex] = self.containment_counts.get(vertex, 0) + 1
         self._built = True
+        self._built_version = self.graph.version
         watch.stop()
         self.build_seconds = watch.elapsed
         return self
 
     @property
     def is_built(self) -> bool:
-        """Whether :meth:`build` has completed."""
-        return self._built
+        """Whether :meth:`build` has completed for the graph's *current* state.
+
+        As for :class:`~repro.index.rr_index.RRGraphIndex`, a graph mutation
+        after the build marks the counts stale and the index reports unbuilt.
+        """
+        return self._built and self._built_version == self.graph.version
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexNotBuiltError("DelayedMaterializationIndex.build() must be called first")
+        if self._built_version != self.graph.version:
+            raise IndexNotBuiltError(
+                "the graph was mutated after DelayedMaterializationIndex.build(); rebuild the index"
+            )
 
     def containment_count(self, user: int) -> int:
         """``theta(u)``: number of offline RR-Graphs that contained ``user``."""
-        if not self._built:
-            raise IndexNotBuiltError("DelayedMaterializationIndex.build() must be called first")
+        self._require_built()
         return self.containment_counts.get(user, 0)
 
     def memory_bytes(self) -> int:
         """Footprint: one integer per user with non-zero containment."""
-        if not self._built:
-            raise IndexNotBuiltError("DelayedMaterializationIndex.build() must be called first")
+        self._require_built()
         return 16 * len(self.containment_counts)
 
     # ----------------------------------------------------------------- recover
     def recover_rr_graph(self, user: int, rng: Optional[RandomSource] = None) -> RRGraph:
-        """Algorithm 4: recover one RR-Graph containing ``user``."""
+        """Algorithm 4: recover one RR-Graph containing ``user``.
+
+        All four steps run on the CSR arrays: the forward possible world is
+        realized with one batched coin flip per frontier, the live edges are
+        regrouped by target with one ``bincount`` / ``argsort`` pass for the
+        reverse membership BFS, and the surviving ``c(e)`` values are re-drawn
+        in a single batched uniform call.
+        """
         rng = rng if rng is not None else self._rng
+        csr = self.graph.csr
         max_probabilities = self.graph.max_edge_probabilities()
         # 1) forward live-edge sample from the user under p(e).
-        activated: Set[int] = {user}
-        live_edges: List[int] = []
-        queue = deque([user])
-        while queue:
-            vertex = queue.popleft()
-            for edge_id in self.graph.out_edges(vertex):
-                maximum = max_probabilities[edge_id]
-                if maximum <= 0.0:
-                    continue
-                if rng.uniform() < maximum:
-                    live_edges.append(edge_id)
-                    _, target = self.graph.edge_endpoints(edge_id)
-                    if target not in activated:
-                        activated.add(target)
-                        queue.append(target)
+        activated_mask, live_edges, _ = live_edge_world(
+            self.graph, user, max_probabilities, rng, collect_edges=True
+        )
+        activated = np.flatnonzero(activated_mask)
         # 2) uniform root among the activated vertices.
-        activated_list = sorted(activated)
-        root = activated_list[rng.integer(0, len(activated_list))]
-        # 3) keep activated vertices that reach the root through live edges.
-        live_by_target: Dict[int, List[int]] = {}
-        for edge_id in live_edges:
-            source, target = self.graph.edge_endpoints(edge_id)
-            if source in activated and target in activated:
-                live_by_target.setdefault(target, []).append(edge_id)
-        members = {root}
-        queue = deque([root])
-        while queue:
-            vertex = queue.popleft()
-            for edge_id in live_by_target.get(vertex, []):
-                source, _ = self.graph.edge_endpoints(edge_id)
-                if source not in members:
-                    members.add(source)
-                    queue.append(source)
+        root = int(activated[rng.integer(0, len(activated))])
+        # 3) keep activated vertices that reach the root through live edges
+        #    (every live edge has both endpoints activated by construction).
+        live_sources = csr.edge_sources[live_edges]
+        live_targets = csr.edge_targets[live_edges]
+        by_target_indptr, by_target_order = csr_order(live_targets, csr.num_vertices)
+        member_mask = np.zeros(csr.num_vertices, dtype=bool)
+        member_mask[root] = True
+        frontier = np.array([root], dtype=np.int64)
+        while frontier.size:
+            positions = slice_positions(by_target_indptr, frontier)
+            if not positions.size:
+                break
+            sources = live_sources[by_target_order[positions]]
+            fresh = sources[~member_mask[sources]]
+            if not fresh.size:
+                break
+            member_mask[fresh] = True
+            frontier = np.unique(fresh)
+        members = set(np.flatnonzero(member_mask).tolist())
         # 4) re-draw c(e) uniformly in [0, p(e)) for kept edges between members.
         #    The recovered graph carries |V'| as an importance weight: the true
         #    conditional distribution of "an offline RR-Graph containing u"
@@ -125,11 +138,13 @@ class DelayedMaterializationIndex:
         #    probability, so the self-normalized weight |V'| corrects the gap
         #    (see DESIGN.md, "DelayMat recovery weighting").
         rr_graph = RRGraph(root=root, vertices=members, recovery_weight=float(len(activated)))
-        for edge_id in live_edges:
-            source, target = self.graph.edge_endpoints(edge_id)
-            if source in members and target in members:
-                threshold = rng.uniform(0.0, max_probabilities[edge_id])
-                rr_graph.add_edge(edge_id, source, target, threshold)
+        keep = member_mask[live_sources] & member_mask[live_targets]
+        kept_edges = live_edges[keep]
+        if kept_edges.size:
+            thresholds = rng.uniforms_upto(max_probabilities[kept_edges])
+            rr_graph.extend_edges(
+                kept_edges, live_sources[keep], live_targets[keep], thresholds
+            )
         return rr_graph
 
     def recover_for_user(self, user: int, rng: Optional[RandomSource] = None) -> List[RRGraph]:

@@ -8,6 +8,14 @@ tag set, the RR-Graph never misses a vertex that could influence ``v`` under
 any ``W``; at query time the same ``c(e)`` values are compared against
 ``p(e|W)`` to decide which stored edges are live (Definition 3), so a single
 offline sample serves every future query.
+
+Generation runs frontier-at-a-time on the graph's reverse CSR arrays: all
+in-edges of a frontier are gathered with two NumPy indexing operations and
+their ``c(e)`` values drawn in one batch.  Query-time matching
+(:func:`tag_aware_reachable`) BFSes over a compact per-RR-Graph CSR built once
+and cached, so the thousands of matches of one PITEX exploration never probe
+Python dicts.  The original per-edge walkers remain available under
+``kernel="dict"`` as the reference implementation.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.graph.csr import csr_order, slice_positions
 from repro.graph.digraph import TopicSocialGraph
 from repro.utils.rng import RandomSource
 
@@ -52,6 +61,7 @@ class RRGraph:
     edge_thresholds: List[float] = field(default_factory=list)
     recovery_weight: float = 1.0
     _adjacency: Optional[Dict[int, List[int]]] = field(default=None, repr=False)
+    _local_csr: Optional["_LocalCSR"] = field(default=None, repr=False)
 
     @property
     def num_vertices(self) -> int:
@@ -74,6 +84,22 @@ class RRGraph:
         self.edge_targets.append(target)
         self.edge_thresholds.append(float(threshold))
         self._adjacency = None
+        self._local_csr = None
+
+    def extend_edges(
+        self,
+        edge_ids: Sequence[int],
+        sources: Sequence[int],
+        targets: Sequence[int],
+        thresholds: Sequence[float],
+    ) -> None:
+        """Bulk-record surviving edges (one call per BFS frontier)."""
+        self.edge_ids.extend(int(e) for e in edge_ids)
+        self.edge_sources.extend(int(s) for s in sources)
+        self.edge_targets.extend(int(t) for t in targets)
+        self.edge_thresholds.extend(float(c) for c in thresholds)
+        self._adjacency = None
+        self._local_csr = None
 
     def adjacency(self) -> Dict[int, List[int]]:
         """Out-adjacency restricted to the stored edges: source -> local edge indices."""
@@ -83,6 +109,12 @@ class RRGraph:
                 adjacency.setdefault(source, []).append(local_index)
             self._adjacency = adjacency
         return self._adjacency
+
+    def local_csr(self) -> "_LocalCSR":
+        """The cached compact CSR over the stored edges (built on first use)."""
+        if self._local_csr is None:
+            self._local_csr = _LocalCSR.from_rr_graph(self)
+        return self._local_csr
 
     def out_edges_of(self, vertex: int) -> List[int]:
         """Local edge indices leaving ``vertex`` inside this RR-Graph."""
@@ -97,26 +129,113 @@ class RRGraph:
         return 8 * self.num_vertices + (8 * 3 + 8) * self.num_edges
 
 
+class _LocalCSR:
+    """Compact CSR over one RR-Graph's stored edges.
+
+    Vertex ids are remapped to dense local ids (``searchsorted`` over the
+    sorted member array), so a graph of a few dozen edges BFSes over arrays a
+    cache line long instead of a dict of Python lists.
+    """
+
+    __slots__ = ("members", "indptr", "local_targets", "slot_edge_ids", "slot_thresholds", "root_local")
+
+    def __init__(self, rr_graph: RRGraph) -> None:
+        sources = np.asarray(rr_graph.edge_sources, dtype=np.int64)
+        targets = np.asarray(rr_graph.edge_targets, dtype=np.int64)
+        # Union the vertex set with the edge endpoints (and root) so a graph
+        # assembled through the public add_edge/extend_edges API maps cleanly
+        # even when its `vertices` set was not kept in sync by the caller.
+        vertex_ids = np.fromiter(rr_graph.vertices, dtype=np.int64, count=len(rr_graph.vertices))
+        members = np.unique(
+            np.concatenate((vertex_ids, sources, targets, np.array([rr_graph.root], dtype=np.int64)))
+        )
+        self.members = members
+        thresholds = np.asarray(rr_graph.edge_thresholds, dtype=float)
+        edge_ids = np.asarray(rr_graph.edge_ids, dtype=np.int64)
+        local_sources = np.searchsorted(members, sources)
+        self.indptr, order = csr_order(local_sources, len(members))
+        self.local_targets = np.searchsorted(members, targets[order])
+        self.slot_edge_ids = edge_ids[order]
+        self.slot_thresholds = thresholds[order]
+        self.root_local = int(np.searchsorted(members, rr_graph.root))
+
+    @classmethod
+    def from_rr_graph(cls, rr_graph: RRGraph) -> "_LocalCSR":
+        return cls(rr_graph)
+
+    def local_id(self, vertex: int) -> Optional[int]:
+        """Dense local id of a global vertex, or ``None`` if not a member."""
+        position = int(np.searchsorted(self.members, vertex))
+        if position >= len(self.members) or self.members[position] != vertex:
+            return None
+        return position
+
+
 def generate_rr_graph(
     graph: TopicSocialGraph,
     root: int,
     rng: RandomSource,
     max_probabilities: Optional[np.ndarray] = None,
+    kernel: str = "csr",
 ) -> RRGraph:
     """Draw one RR-Graph rooted at ``root`` (Definition 2).
 
     The reverse BFS examines every in-edge of every reached vertex, draws its
     ``c(e)`` lazily, and keeps the edge iff ``c(e) <= p(e)``.  Edges whose
     ``c(e)`` exceeds ``p(e)`` can never be live under any tag set and are
-    dropped entirely.
+    dropped entirely.  The default CSR kernel expands whole frontiers with one
+    gather and one batched uniform draw; ``kernel="dict"`` is the per-edge
+    reference walker.
     """
     if max_probabilities is None:
         max_probabilities = graph.max_edge_probabilities()
+    if kernel == "dict":
+        return _generate_rr_graph_dict(graph, root, rng, max_probabilities)
+    csr = graph.csr
+    rr_graph = RRGraph(root=root, vertices={root})
+    visited = np.zeros(csr.num_vertices, dtype=bool)
+    visited[root] = True
+    frontier = np.array([root], dtype=np.int64)
+    while frontier.size:
+        positions = csr.in_positions(frontier)
+        if not positions.size:
+            break
+        edge_ids = csr.in_edge_ids[positions]
+        maxima = max_probabilities[edge_ids]
+        thresholds = rng.uniforms(edge_ids.size)
+        keep = (maxima > 0.0) & (thresholds <= maxima)
+        if not keep.any():
+            break
+        kept_edges = edge_ids[keep]
+        kept_sources = csr.in_sources[positions][keep]
+        rr_graph.extend_edges(
+            kept_edges, kept_sources, csr.edge_targets[kept_edges], thresholds[keep]
+        )
+        fresh = kept_sources[~visited[kept_sources]]
+        if fresh.size:
+            fresh = np.unique(fresh)
+            visited[fresh] = True
+            rr_graph.vertices.update(fresh.tolist())
+            frontier = fresh
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+    return rr_graph
+
+
+def _generate_rr_graph_dict(
+    graph: TopicSocialGraph,
+    root: int,
+    rng: RandomSource,
+    max_probabilities: np.ndarray,
+) -> RRGraph:
+    """Reference per-edge implementation of :func:`generate_rr_graph`."""
     rr_graph = RRGraph(root=root, vertices={root})
     queue = deque([root])
     while queue:
         vertex = queue.popleft()
-        in_edges = graph.in_edges(vertex)
+        # borrowed read-only: the public in_edges() copies per call, which
+        # would tax this reference walker (see graph.algorithms counterparts)
+        in_edges = graph._in[vertex]
         if not in_edges:
             continue
         thresholds = rng.uniforms(len(in_edges))
@@ -136,14 +255,57 @@ def tag_aware_reachable(
     rr_graph: RRGraph,
     user: int,
     edge_probabilities: Sequence[float],
+    kernel: str = "csr",
 ) -> Tuple[bool, int]:
     """Definition 3: does ``user`` reach the root through live edges?
 
     An edge is live when ``p(e|W) >= c(e)``.  Returns ``(reachable,
-    edges_checked)`` so callers can account verification cost.
+    edges_checked)`` so callers can account verification cost.  The exact
+    ``edges_checked`` value depends on traversal order (both kernels stop as
+    soon as the root is reached), so the two kernels agree on the reachability
+    bit but may differ slightly in the accounting.
     """
     if user == rr_graph.root:
         return True, 0
+    if kernel == "dict":
+        return _tag_aware_reachable_dict(rr_graph, user, edge_probabilities)
+    if user not in rr_graph.vertices:
+        return False, 0
+    if not rr_graph.num_edges:
+        return False, 0
+    probabilities = np.asarray(edge_probabilities, dtype=float)
+    local = rr_graph.local_csr()
+    start = local.local_id(user)
+    if start is None:
+        return False, 0
+    live = probabilities[local.slot_edge_ids]
+    live_mask = (live > 0.0) & (live >= local.slot_thresholds)
+    visited = np.zeros(len(local.members), dtype=bool)
+    visited[start] = True
+    frontier = np.array([start], dtype=np.int64)
+    checked = 0
+    while frontier.size:
+        positions = slice_positions(local.indptr, frontier)
+        if not positions.size:
+            break
+        checked += int(positions.size)
+        targets = local.local_targets[positions][live_mask[positions]]
+        fresh = targets[~visited[targets]]
+        if not fresh.size:
+            break
+        if (fresh == local.root_local).any():
+            return True, checked
+        visited[fresh] = True
+        frontier = np.unique(fresh)
+    return False, checked
+
+
+def _tag_aware_reachable_dict(
+    rr_graph: RRGraph,
+    user: int,
+    edge_probabilities: Sequence[float],
+) -> Tuple[bool, int]:
+    """Reference per-edge implementation of :func:`tag_aware_reachable`."""
     if user not in rr_graph.vertices:
         return False, 0
     probabilities = np.asarray(edge_probabilities, dtype=float)

@@ -51,6 +51,7 @@ class RRGraphIndex:
         self.containment: Dict[int, List[int]] = {}
         self.build_seconds: float = 0.0
         self._built = False
+        self._built_version: Optional[int] = None
 
     # ------------------------------------------------------------------ build
     def build(self) -> "RRGraphIndex":
@@ -66,18 +67,29 @@ class RRGraphIndex:
             for vertex in rr_graph.vertices:
                 self.containment.setdefault(vertex, []).append(index)
         self._built = True
+        self._built_version = self.graph.version
         watch.stop()
         self.build_seconds = watch.elapsed
         return self
 
     @property
     def is_built(self) -> bool:
-        """Whether :meth:`build` has completed."""
-        return self._built
+        """Whether :meth:`build` has completed for the graph's *current* state.
+
+        Mutating the graph (``add_edge``) after a build marks the index stale:
+        the stored RR-Graphs describe the pre-mutation graph, so querying them
+        would silently mix snapshots.  A stale index reports ``False`` here
+        and must be rebuilt.
+        """
+        return self._built and self._built_version == self.graph.version
 
     def _require_built(self) -> None:
         if not self._built:
             raise IndexNotBuiltError("RRGraphIndex.build() must be called before querying")
+        if self._built_version != self.graph.version:
+            raise IndexNotBuiltError(
+                "the graph was mutated after RRGraphIndex.build(); rebuild the index"
+            )
 
     # ------------------------------------------------------------------ query
     def graphs_containing(self, user: int) -> List[int]:

@@ -8,8 +8,6 @@ here measure the same quantities for the indexes built by this library.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from repro.graph.digraph import TopicSocialGraph
 from repro.index.delayed import DelayedMaterializationIndex
 from repro.index.rr_index import RRGraphIndex

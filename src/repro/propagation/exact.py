@@ -10,7 +10,7 @@ test suite.
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterable, List, Sequence, Set
+from typing import List, Sequence, Set
 
 import numpy as np
 

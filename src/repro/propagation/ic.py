@@ -10,7 +10,7 @@ termination (including the seed).
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 

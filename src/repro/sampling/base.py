@@ -17,10 +17,8 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
-
-import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph

@@ -12,22 +12,33 @@ across the ``theta_W`` sample instances of one estimation, which is exactly
 where the savings come from -- the expected number of edge events per instance
 drops from ``|E_W(u)| * E[I(u -> v_out)]`` to ``|R_W(u)| * E[I(u -> v*)]``
 (Lemma 5 vs Lemma 7).
+
+All ``theta_W`` instances of one estimation share the same probability array,
+so the hot path is batched on top of the graph's CSR view: a vertex schedule
+is created from two array slices (edge ids, targets) plus one vectorized
+geometric draw for its whole out-neighbourhood, instead of one dict probe and
+one Python-level geometric call per edge.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.graph.algorithms import reachable_with_probabilities
+from repro.graph.algorithms import (
+    live_edge_world,
+    reachable_mask,
+    reachable_with_probabilities,
+)
+from repro.exceptions import InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
 from repro.utils.heap import LazyEdgeHeap
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 from repro.utils.stats import log_binomial
 
 
@@ -46,6 +57,10 @@ class LazyPropagationEstimator(InfluenceEstimator):
         the running mean is already within the ``(1 ± eps)`` band with the
         required probability (martingale stopping rule of Tang et al.), so the
         remaining instances can be skipped.
+    kernel:
+        ``"csr"`` (default) builds vertex schedules and forward worlds on the
+        CSR arrays with batched draws; ``"dict"`` keeps the per-edge reference
+        path (dict adjacency probes, one scalar geometric per edge).
     """
 
     name = "lazy"
@@ -57,20 +72,64 @@ class LazyPropagationEstimator(InfluenceEstimator):
         budget: Optional[SampleBudget] = None,
         seed: SeedLike = None,
         early_stopping: bool = True,
+        kernel: str = "csr",
     ) -> None:
         super().__init__(graph, model, budget)
+        if kernel not in ("csr", "dict"):
+            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose from ('csr', 'dict')")
         self._rng = spawn_rng(seed)
         self.early_stopping = early_stopping
+        self.kernel = kernel
 
     # ------------------------------------------------------------------ core
     def _stop_threshold(self) -> float:
         """Total-activation count at which the running estimate is already accurate."""
         budget = self.budget
         log_candidates = log_binomial(budget.num_tags, min(budget.k, budget.num_tags))
-        lam = (2.0 + budget.epsilon) / (budget.epsilon ** 2) * (
+        lam = (2.0 + budget.epsilon) / (budget.epsilon**2) * (
             math.log(budget.delta) + log_candidates + math.log(2.0)
         )
         return (1.0 + budget.epsilon) * lam
+
+    def _make_schedule(
+        self, vertex: int, probabilities: np.ndarray, rng: RandomSource
+    ) -> LazyEdgeHeap:
+        """Build one vertex's lazy schedule.
+
+        On the CSR kernel the whole out-neighbourhood is materialized with two
+        array slices and its first-fire visit counts with one batched geometric
+        draw; the dict kernel probes the adjacency per edge with one scalar
+        geometric each, as the original implementation did.
+        """
+        if self.kernel == "dict":
+            neighbors = []
+            neighbor_probabilities = []
+            # borrowed read-only adjacency, matching the original zero-copy path
+            for edge_id in self.graph._out[vertex]:
+                probability = probabilities[edge_id]
+                if probability <= 0.0:
+                    continue
+                _, target = self.graph.edge_endpoints(edge_id)
+                neighbors.append(target)
+                neighbor_probabilities.append(float(probability))
+            return LazyEdgeHeap(neighbors, neighbor_probabilities, rng.geometric)
+        edge_ids, targets = self.graph.csr.out_slice(vertex)
+        edge_probabilities = probabilities[edge_ids]
+        positive = edge_probabilities > 0.0
+        neighbors = targets[positive]
+        neighbor_probabilities = edge_probabilities[positive]
+        fires = rng.geometric_array(neighbor_probabilities)
+        return LazyEdgeHeap(
+            neighbors.tolist(),
+            neighbor_probabilities.tolist(),
+            rng.geometric,
+            initial_fires=fires.tolist(),
+        )
+
+    def _reachable_size(self, user: int, probabilities: np.ndarray) -> int:
+        if self.kernel == "dict":
+            return len(reachable_with_probabilities(self.graph, user, probabilities, kernel="dict"))
+        return int(reachable_mask(self.graph, user, probabilities).sum())
 
     def estimate_with_probabilities(
         self,
@@ -80,8 +139,7 @@ class LazyPropagationEstimator(InfluenceEstimator):
     ) -> InfluenceEstimate:
         """Run ``theta_W`` lazy sample instances (possibly fewer with early stopping)."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
-        reachable = reachable_with_probabilities(self.graph, user, probabilities)
-        reachable_size = len(reachable)
+        reachable_size = self._reachable_size(user, probabilities)
         if num_samples is None:
             num_samples = self.budget.online_samples(reachable_size)
         if reachable_size == 1:
@@ -93,7 +151,6 @@ class LazyPropagationEstimator(InfluenceEstimator):
                 method=self.name,
             )
 
-        geometric = self._rng.geometric
         schedules: Dict[int, LazyEdgeHeap] = {}
         edges_visited = 0
         total_activations = 0
@@ -109,18 +166,9 @@ class LazyPropagationEstimator(InfluenceEstimator):
                 total_activations += 1
                 schedule = schedules.get(vertex)
                 if schedule is None:
-                    neighbors: List[int] = []
-                    neighbor_probabilities: List[float] = []
-                    for edge_id in self.graph.out_edges(vertex):
-                        probability = probabilities[edge_id]
-                        if probability <= 0.0:
-                            continue
-                        _, target = self.graph.edge_endpoints(edge_id)
-                        neighbors.append(target)
-                        neighbor_probabilities.append(float(probability))
-                    schedule = LazyEdgeHeap(neighbors, neighbor_probabilities, geometric)
+                    schedule = self._make_schedule(vertex, probabilities, self._rng)
                     schedules[vertex] = schedule
-                    edges_visited += len(neighbors)
+                    edges_visited += schedule.pending()
                 fired = schedule.visit()
                 edges_visited += len(fired)
                 for neighbor in fired:
@@ -148,7 +196,6 @@ class LazyPropagationEstimator(InfluenceEstimator):
     ) -> list:
         """Estimate values at increasing sample counts (Fig. 6 convergence sweep)."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
-        geometric = self._rng.geometric
         schedules: Dict[int, LazyEdgeHeap] = {}
         results = []
         total_activations = 0
@@ -162,16 +209,7 @@ class LazyPropagationEstimator(InfluenceEstimator):
                     total_activations += 1
                     schedule = schedules.get(vertex)
                     if schedule is None:
-                        neighbors: List[int] = []
-                        neighbor_probabilities: List[float] = []
-                        for edge_id in self.graph.out_edges(vertex):
-                            probability = probabilities[edge_id]
-                            if probability <= 0.0:
-                                continue
-                            _, target = self.graph.edge_endpoints(edge_id)
-                            neighbors.append(target)
-                            neighbor_probabilities.append(float(probability))
-                        schedule = LazyEdgeHeap(neighbors, neighbor_probabilities, geometric)
+                        schedule = self._make_schedule(vertex, probabilities, self._rng)
                         schedules[vertex] = schedule
                     fired = schedule.visit()
                     for neighbor in fired:
@@ -187,23 +225,28 @@ class LazyPropagationEstimator(InfluenceEstimator):
 
         Used by the delayed-materialization index (Algorithm 4) which needs the
         live edges of a forward sample, not just the activation count.  Fresh
-        schedules are used so the draw is independent of previous estimations.
+        coins are used so the draw is independent of previous estimations; on
+        the CSR kernel the world is realized with batched coin flips.
         """
         probabilities = np.asarray(edge_probabilities, dtype=float)
-        geometric = self._rng.geometric
-        visited = {user}
-        live_edges = []
-        frontier = deque([user])
-        while frontier:
-            vertex = frontier.popleft()
-            for edge_id in self.graph.out_edges(vertex):
-                probability = probabilities[edge_id]
-                if probability <= 0.0:
-                    continue
-                _, target = self.graph.edge_endpoints(edge_id)
-                if self._rng.uniform() < probability:
-                    live_edges.append(edge_id)
-                    if target not in visited:
-                        visited.add(target)
-                        frontier.append(target)
-        return visited, live_edges
+        if self.kernel == "dict":
+            visited = {user}
+            live_edges = []
+            frontier = deque([user])
+            while frontier:
+                vertex = frontier.popleft()
+                for edge_id in self.graph.out_edges(vertex):
+                    probability = probabilities[edge_id]
+                    if probability <= 0.0:
+                        continue
+                    _, target = self.graph.edge_endpoints(edge_id)
+                    if self._rng.uniform() < probability:
+                        live_edges.append(edge_id)
+                        if target not in visited:
+                            visited.add(target)
+                            frontier.append(target)
+            return visited, live_edges
+        activated, live_edges, _ = live_edge_world(
+            self.graph, user, probabilities, self._rng, collect_edges=True
+        )
+        return set(np.flatnonzero(activated).tolist()), live_edges.tolist()

@@ -7,6 +7,11 @@ estimate is the average over ``theta_W`` instances.  Every positive-probability
 out-edge of every activated vertex is probed in every instance, which is the
 inefficiency Example 2 / Fig. 3(a) of the paper highlights and the lazy sampler
 removes.
+
+The default ``kernel="csr"`` runs every sample instance as a frontier-at-a-time
+BFS over the graph's cached CSR arrays with one batched coin flip per frontier;
+``kernel="dict"`` keeps the original per-edge Python walker as the reference
+implementation.
 """
 
 from __future__ import annotations
@@ -17,12 +22,17 @@ import numpy as np
 
 from repro.graph.algorithms import (
     live_edge_reachable,
+    live_edge_world,
+    reachable_mask,
     reachable_with_probabilities,
 )
+from repro.exceptions import InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
 from repro.utils.rng import SeedLike, spawn_rng
+
+_KERNELS = ("csr", "dict")
 
 
 class MonteCarloEstimator(InfluenceEstimator):
@@ -37,10 +47,14 @@ class MonteCarloEstimator(InfluenceEstimator):
         budget: Optional[SampleBudget] = None,
         seed: SeedLike = None,
         compute_reachable: bool = True,
+        kernel: str = "csr",
     ) -> None:
         super().__init__(graph, model, budget)
+        if kernel not in _KERNELS:
+            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
         self._rng = spawn_rng(seed)
         self._compute_reachable = compute_reachable
+        self.kernel = kernel
 
     def estimate_with_probabilities(
         self,
@@ -51,20 +65,30 @@ class MonteCarloEstimator(InfluenceEstimator):
         """Average realized spread over ``theta_W`` forward live-edge samples."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
         if self._compute_reachable or num_samples is None:
-            reachable = reachable_with_probabilities(self.graph, user, probabilities)
-            reachable_size = len(reachable)
+            if self.kernel == "csr":
+                reachable_size = int(reachable_mask(self.graph, user, probabilities).sum())
+            else:
+                reachable_size = len(
+                    reachable_with_probabilities(self.graph, user, probabilities, kernel="dict")
+                )
         else:
             reachable_size = 0
         if num_samples is None:
             num_samples = self.budget.online_samples(reachable_size)
 
-        uniform = self._rng.uniform
         total_spread = 0
         total_probes = 0
-        for _ in range(num_samples):
-            activated, probes = live_edge_reachable(self.graph, user, probabilities, uniform)
-            total_spread += len(activated)
-            total_probes += probes
+        if self.kernel == "csr":
+            for _ in range(num_samples):
+                activated, _, probes = live_edge_world(self.graph, user, probabilities, self._rng)
+                total_spread += int(activated.sum())
+                total_probes += probes
+        else:
+            uniform = self._rng.uniform
+            for _ in range(num_samples):
+                activated, probes = live_edge_reachable(self.graph, user, probabilities, uniform)
+                total_spread += len(activated)
+                total_probes += probes
         value = total_spread / float(num_samples)
         return InfluenceEstimate(
             value=value,
@@ -92,8 +116,12 @@ class MonteCarloEstimator(InfluenceEstimator):
         drawn = 0
         for checkpoint in checkpoints:
             while drawn < checkpoint:
-                activated, _ = live_edge_reachable(self.graph, user, probabilities, uniform)
-                total_spread += len(activated)
+                if self.kernel == "csr":
+                    activated, _, _ = live_edge_world(self.graph, user, probabilities, self._rng)
+                    total_spread += int(activated.sum())
+                else:
+                    activated_set, _ = live_edge_reachable(self.graph, user, probabilities, uniform)
+                    total_spread += len(activated_set)
                 drawn += 1
             results.append(total_spread / float(drawn))
         return results

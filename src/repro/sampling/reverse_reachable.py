@@ -8,6 +8,12 @@ in that set, scaled by ``|R_W(u)|``, is an unbiased estimate of the spread.
 The reverse growth probes every positive-probability in-edge of every reached
 vertex, which is the inefficiency Example 3 / Fig. 3(b) highlights for
 celebrity-style hubs.
+
+The default ``kernel="csr"`` computes ``R_W(u)`` and every reverse world with
+the vectorized CSR kernels (the sample targets for all ``theta_W`` instances
+are drawn in one batch); ``kernel="dict"`` keeps the original per-edge walker
+as the reference implementation the equivalence tests and the Fig. 12
+speedup benchmark compare against.
 """
 
 from __future__ import annotations
@@ -17,13 +23,18 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.graph.algorithms import (
+    reachable_vertices,
     reachable_with_probabilities,
     reverse_live_edge_reachable,
+    reverse_live_edge_world,
 )
+from repro.exceptions import InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
 from repro.utils.rng import SeedLike, spawn_rng
+
+_KERNELS = ("csr", "dict")
 
 
 class ReverseReachableEstimator(InfluenceEstimator):
@@ -37,9 +48,13 @@ class ReverseReachableEstimator(InfluenceEstimator):
         model: TagTopicModel,
         budget: Optional[SampleBudget] = None,
         seed: SeedLike = None,
+        kernel: str = "csr",
     ) -> None:
         super().__init__(graph, model, budget)
+        if kernel not in _KERNELS:
+            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
         self._rng = spawn_rng(seed)
+        self.kernel = kernel
 
     def estimate_with_probabilities(
         self,
@@ -49,7 +64,13 @@ class ReverseReachableEstimator(InfluenceEstimator):
     ) -> InfluenceEstimate:
         """Average hit-indicator over ``theta_W`` reverse samples, scaled by ``|R_W(u)|``."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
-        reachable = sorted(reachable_with_probabilities(self.graph, user, probabilities))
+        if self.kernel == "csr":
+            reachable = reachable_vertices(self.graph, user, probabilities)
+        else:
+            reachable = np.array(
+                sorted(reachable_with_probabilities(self.graph, user, probabilities, kernel="dict")),
+                dtype=np.int64,
+            )
         reachable_size = len(reachable)
         if num_samples is None:
             num_samples = self.budget.online_samples(reachable_size)
@@ -63,17 +84,27 @@ class ReverseReachableEstimator(InfluenceEstimator):
                 method=self.name,
             )
 
-        uniform = self._rng.uniform
         hits = 0
         total_probes = 0
-        for _ in range(num_samples):
-            target = reachable[self._rng.integer(0, reachable_size)]
-            reached, probes = reverse_live_edge_reachable(
-                self.graph, target, probabilities, uniform
-            )
-            total_probes += probes
-            if user in reached:
-                hits += 1
+        if self.kernel == "csr":
+            targets = reachable[self._rng.generator.integers(0, reachable_size, size=num_samples)]
+            for target in targets:
+                reached, probes = reverse_live_edge_world(
+                    self.graph, int(target), probabilities, self._rng
+                )
+                total_probes += probes
+                if reached[user]:
+                    hits += 1
+        else:
+            uniform = self._rng.uniform
+            for _ in range(num_samples):
+                target = reachable[self._rng.integer(0, reachable_size)]
+                reached, probes = reverse_live_edge_reachable(
+                    self.graph, int(target), probabilities, uniform
+                )
+                total_probes += probes
+                if user in reached:
+                    hits += 1
         value = hits / float(num_samples) * reachable_size
         return InfluenceEstimate(
             value=value,
@@ -91,7 +122,13 @@ class ReverseReachableEstimator(InfluenceEstimator):
     ) -> list:
         """Estimate values at increasing sample counts (Fig. 6 convergence sweep)."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
-        reachable = sorted(reachable_with_probabilities(self.graph, user, probabilities))
+        if self.kernel == "csr":
+            reachable = reachable_vertices(self.graph, user, probabilities)
+        else:
+            reachable = np.array(
+                sorted(reachable_with_probabilities(self.graph, user, probabilities, kernel="dict")),
+                dtype=np.int64,
+            )
         reachable_size = len(reachable)
         if reachable_size == 1:
             return [1.0 for _ in checkpoints]
@@ -101,12 +138,19 @@ class ReverseReachableEstimator(InfluenceEstimator):
         drawn = 0
         for checkpoint in checkpoints:
             while drawn < checkpoint:
-                target = reachable[self._rng.integer(0, reachable_size)]
-                reached, _ = reverse_live_edge_reachable(
-                    self.graph, target, probabilities, uniform
-                )
-                if user in reached:
-                    hits += 1
+                target = int(reachable[self._rng.integer(0, reachable_size)])
+                if self.kernel == "csr":
+                    reached_mask, _ = reverse_live_edge_world(
+                        self.graph, target, probabilities, self._rng
+                    )
+                    if reached_mask[user]:
+                        hits += 1
+                else:
+                    reached, _ = reverse_live_edge_reachable(
+                        self.graph, target, probabilities, uniform
+                    )
+                    if user in reached:
+                        hits += 1
                 drawn += 1
             results.append(hits / float(drawn) * reachable_size)
         return results

@@ -12,9 +12,7 @@ parameters from observations only, exactly like the real pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.graph.digraph import TopicSocialGraph
 from repro.topics.model import TagTopicModel

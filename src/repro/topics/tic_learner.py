@@ -24,7 +24,7 @@ probabilities out, ready to be fed to the PITEX engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

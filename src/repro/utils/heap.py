@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 
 class MinHeap:
@@ -103,15 +103,22 @@ class LazyEdgeHeap:
     geometric:
         Callable ``p -> int`` drawing a geometric variate; injected so the heap
         stays deterministic under a seeded :class:`~repro.utils.rng.RandomSource`.
+    initial_fires:
+        Optional pre-drawn first fire visit per neighbor (same length as
+        ``neighbors``).  The CSR fast path draws the whole schedule with one
+        batched geometric call (:meth:`~repro.utils.rng.RandomSource.geometric_array`)
+        instead of one Python call per edge; entries for zero-probability edges
+        are ignored either way.
     """
 
     __slots__ = ("_heap", "_geometric", "visit_count")
 
     def __init__(
         self,
-        neighbors: List[int],
-        probabilities: List[float],
+        neighbors: Sequence[int],
+        probabilities: Sequence[float],
         geometric: Callable[[float], int],
+        initial_fires: Optional[Sequence[int]] = None,
     ) -> None:
         self._geometric = geometric
         self.visit_count = 0
@@ -119,8 +126,8 @@ class LazyEdgeHeap:
         for order, (neighbor, probability) in enumerate(zip(neighbors, probabilities)):
             if probability <= 0.0:
                 continue
-            fire_at = geometric(probability)
-            entries.append((fire_at, order, neighbor, probability))
+            fire_at = initial_fires[order] if initial_fires is not None else geometric(probability)
+            entries.append((int(fire_at), order, int(neighbor), float(probability)))
         heapq.heapify(entries)
         self._heap = entries
 

@@ -100,6 +100,38 @@ class RandomSource:
             return np.full(size, np.iinfo(np.int64).max, dtype=np.int64)
         return self._generator.geometric(probability, size=size).astype(np.int64)
 
+    def geometric_array(self, probabilities: Sequence[float]) -> np.ndarray:
+        """One geometric draw per (heterogeneous) success probability.
+
+        The vectorized counterpart of calling :meth:`geometric` once per entry,
+        via inverse-CDF sampling ``ceil(ln(1 - u) / ln(1 - p))``; used by the
+        lazy sampler to initialize a whole vertex schedule with a single
+        batched draw.  Zero probabilities map to the never-fires sentinel,
+        probabilities >= 1 fire on the first visit.
+        """
+        probs = np.asarray(probabilities, dtype=float)
+        draws = np.empty(probs.shape, dtype=np.int64)
+        ones = probs >= 1.0
+        zeros = probs <= 0.0
+        middle = ~(ones | zeros)
+        draws[ones] = 1
+        draws[zeros] = np.iinfo(np.int64).max
+        count = int(np.count_nonzero(middle))
+        if count:
+            uniforms = self._generator.random(count)
+            sampled = np.ceil(np.log1p(-uniforms) / np.log1p(-probs[middle]))
+            # Tiny probabilities can push the draw past int64 range (or to inf);
+            # clamp into [1, 2^62] before the cast -- 2^62 visits is as good as
+            # the never-fires sentinel for any realistic sample budget.
+            sampled = np.where(np.isfinite(sampled), sampled, float(2**62))
+            draws[middle] = np.clip(sampled, 1.0, float(2**62)).astype(np.int64)
+        return draws
+
+    def uniforms_upto(self, highs: Sequence[float]) -> np.ndarray:
+        """Per-entry uniform draws in ``[0, highs[i])``."""
+        highs = np.asarray(highs, dtype=float)
+        return self._generator.random(highs.shape) * highs
+
     def integer(self, low: int, high: int) -> int:
         """A uniform integer in ``[low, high)``."""
         return int(self._generator.integers(low, high))

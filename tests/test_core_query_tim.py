@@ -88,7 +88,8 @@ def test_tree_model_threshold_prunes_far_vertices():
     loose = TreeModelEstimator(graph, model, path_threshold=1e-9)
     tight = TreeModelEstimator(graph, model, path_threshold=0.01)
     probabilities = np.full(7, 0.3)
-    assert tight.estimate_with_probabilities(0, probabilities).value <= loose.estimate_with_probabilities(0, probabilities).value
+    tight_value = tight.estimate_with_probabilities(0, probabilities).value
+    assert tight_value <= loose.estimate_with_probabilities(0, probabilities).value
 
 
 def test_tree_model_is_deterministic():

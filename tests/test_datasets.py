@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.datasets.casestudy import FIELD_KEYWORDS, RESEARCHERS, build_case_study
-from repro.datasets.profiles import PROFILES, get_profile, profile_names
-from repro.datasets.synthetic import generate_dataset, load_dataset, make_tag_topic_matrix
+from repro.datasets.profiles import get_profile, profile_names
+from repro.datasets.synthetic import load_dataset, make_tag_topic_matrix
 from repro.datasets.workload import build_workload
 from repro.exceptions import InvalidParameterError
 

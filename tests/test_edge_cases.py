@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.engine import PitexEngine
 from repro.exceptions import (
-    EstimationError,
     GraphError,
     InvalidParameterError,
     UnknownVertexError,

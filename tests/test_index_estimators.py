@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import IndexNotBuiltError
-from repro.graph.digraph import TopicSocialGraph
 from repro.graph.generators import line_graph, random_topic_graph
 from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
 from repro.index.pruning import PrunedIndexEstimator, build_edge_cut, choose_edge_cut

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph.digraph import TopicSocialGraph
 from repro.graph.generators import line_graph, random_topic_graph
 from repro.index.rr_graph import (
     RRGraph,

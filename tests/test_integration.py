@@ -6,7 +6,6 @@ check the answers against brute-force ground truth or against each other.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.engine import PitexEngine
 from repro.datasets.casestudy import build_case_study, evaluate_case_study

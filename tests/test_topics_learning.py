@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ModelError
-from repro.graph.generators import power_law_topic_graph, random_topic_graph
+from repro.graph.generators import random_topic_graph
 from repro.topics.action_log import Action, ActionLog, generate_action_log
 from repro.topics.lda import LatentDirichletAllocation
 from repro.topics.model import TagTopicModel

@@ -1,6 +1,5 @@
 """Tests for repro.utils.heap."""
 
-import pytest
 
 from repro.utils.heap import LazyEdgeHeap, MaxHeap, MinHeap
 from repro.utils.rng import RandomSource
