@@ -1,0 +1,139 @@
+"""Serving-layer benchmark: persistent index store + concurrent workload replay.
+
+Two shape assertions back the serving subsystem (``repro.serve``):
+
+* loading a persisted RR-Graph index from the :class:`IndexStore` is at least
+  5x faster than rebuilding it from scratch (the offline/online split of
+  Sec. 6 carried across process boundaries), with bitwise-equal estimates;
+* a cold engine warm-started from the store answers a 50-query seeded replay
+  through :class:`PitexService` with zero failures, reporting p50/p95/p99.
+
+The latency/throughput report is also written as JSON -- to the path in the
+``PITEX_SERVING_REPORT`` environment variable (default
+``bench_serving_report.json`` in the working directory) -- which the CI
+serving-smoke job uploads as a workflow artifact.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.engine import PitexEngine
+from repro.datasets.synthetic import load_dataset
+from repro.index.rr_index import RRGraphIndex
+from repro.serve.replay import replay_stream
+from repro.serve.service import PitexService
+from repro.serve.store import IndexStore
+from repro.utils.timer import Stopwatch
+
+REPLAY_QUERIES = 50
+INDEX_SAMPLES = 800
+NUM_TAGS = 25  # trimmed vocabulary keeps per-query exploration in the tens of ms
+MIN_LOAD_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def serving_dataset(harness):
+    scale = harness.config.scale_of("lastfm")
+    return load_dataset("lastfm", scale=scale, num_tags=NUM_TAGS, seed=harness.config.seed)
+
+
+@pytest.fixture(scope="module")
+def serving_store(tmp_path_factory):
+    return IndexStore(tmp_path_factory.mktemp("pitex-index-store"))
+
+
+@pytest.fixture(scope="module")
+def report_payload():
+    """Collects both tests' numbers; written as the JSON artifact at teardown."""
+    payload = {}
+    yield payload
+    path = os.environ.get("PITEX_SERVING_REPORT", "bench_serving_report.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nserving report written to {path}")
+
+
+def test_store_load_is_5x_faster_than_rebuild(serving_dataset, serving_store, report_payload):
+    graph, model = serving_dataset.graph, serving_dataset.model
+
+    watch = Stopwatch().start()
+    built = RRGraphIndex(graph, INDEX_SAMPLES, seed=harness_seed(serving_dataset)).build()
+    watch.stop()
+    build_seconds = watch.elapsed
+
+    serving_store.save_rr_index(built, model)
+    watch = Stopwatch().start()
+    loaded = serving_store.load_rr_index(graph, model, INDEX_SAMPLES)
+    watch.stop()
+    load_seconds = watch.elapsed
+
+    assert loaded is not None and loaded.is_built
+    probabilities = model.edge_probabilities(graph, [0, 1])
+    for user in range(0, graph.num_vertices, max(1, graph.num_vertices // 20)):
+        original = built.estimate(user, probabilities)
+        reloaded = loaded.estimate(user, probabilities)
+        assert original.value == reloaded.value
+
+    speedup = build_seconds / load_seconds if load_seconds > 0 else float("inf")
+    print(
+        f"\nindex build {build_seconds * 1000:.1f} ms vs load {load_seconds * 1000:.1f} ms "
+        f"({speedup:.1f}x, theta={INDEX_SAMPLES})"
+    )
+    report_payload["index_store"] = {
+        "theta": INDEX_SAMPLES,
+        "build_seconds": build_seconds,
+        "load_seconds": load_seconds,
+        "speedup": speedup,
+    }
+    assert build_seconds >= MIN_LOAD_SPEEDUP * load_seconds, (
+        f"loading the persisted index ({load_seconds:.3f}s) should be >={MIN_LOAD_SPEEDUP}x "
+        f"faster than rebuilding it ({build_seconds:.3f}s)"
+    )
+
+
+def test_cold_replay_with_persisted_index(
+    benchmark, serving_dataset, serving_store, report_payload, harness
+):
+    graph, model = serving_dataset.graph, serving_dataset.model
+    # Offline phase (or a previous process): ensure the index is persisted.
+    _, _, offline_seconds = serving_store.load_or_build_rr(
+        graph, model, INDEX_SAMPLES, seed=harness_seed(serving_dataset)
+    )
+    # Online phase: a cold engine warm-started purely from the store.
+    loaded = serving_store.load_rr_index(graph, model, INDEX_SAMPLES)
+    assert loaded is not None
+    engine = PitexEngine(
+        graph,
+        model,
+        max_samples=harness.config.max_samples,
+        index_samples=INDEX_SAMPLES,
+        default_k=2,
+        seed=harness.config.seed,
+        rr_index=loaded,
+    )
+    stream = serving_dataset.query_workload.query_stream(
+        REPLAY_QUERIES, seed=harness.config.seed
+    )
+
+    def run_replay():
+        with PitexService.for_engine(engine, num_workers=2, max_batch=8) as service:
+            return replay_stream(service, stream, method="indexest+", k=2)
+
+    report = benchmark.pedantic(run_replay, rounds=1, iterations=1)
+    print()
+    print(format_table(report.to_result()))
+    assert report.num_queries >= 50
+    assert report.failures == 0
+    assert report.overall.count == report.num_queries
+    assert report.overall.percentile(99.0) >= report.overall.percentile(50.0) > 0.0
+    document = report.to_json()
+    document["offline_seconds"] = offline_seconds
+    report_payload["replay"] = document
+
+
+def harness_seed(dataset) -> int:
+    """The dataset's generation seed (fallback 0 for unseeded runs)."""
+    return dataset.seed if dataset.seed is not None else 0

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.utils.stats import LatencyAccumulator
 
 
 @dataclass
@@ -96,3 +98,42 @@ def format_table(result: ExperimentResult, max_rows: Optional[int] = None) -> st
 def format_results(results: Sequence[ExperimentResult]) -> str:
     """Render several results separated by blank lines."""
     return "\n\n".join(format_table(result) for result in results)
+
+
+LATENCY_COLUMNS = ("label", "queries", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms", "qps")
+
+
+def latency_row(accumulator: LatencyAccumulator, wall_seconds: Optional[float] = None) -> tuple:
+    """One :data:`LATENCY_COLUMNS` row from a latency accumulator.
+
+    ``wall_seconds`` is the wall-clock span the observations were collected
+    over; throughput falls back to the busy time (sum of latencies) when the
+    caller did not measure the span, which overstates qps under concurrency.
+    """
+    summary = accumulator.summary()
+    span = wall_seconds if wall_seconds and wall_seconds > 0 else accumulator.total
+    qps = summary["count"] / span if span > 0 else 0.0
+    return (
+        summary["label"],
+        summary["count"],
+        summary["mean"] * 1000.0,
+        summary["p50"] * 1000.0,
+        summary["p95"] * 1000.0,
+        summary["p99"] * 1000.0,
+        summary["max"] * 1000.0,
+        qps,
+    )
+
+
+def latency_result(
+    experiment: str,
+    title: str,
+    accumulators: Sequence[LatencyAccumulator],
+    wall_seconds: Optional[Mapping[str, float]] = None,
+) -> ExperimentResult:
+    """An :class:`ExperimentResult` latency table, one row per accumulator."""
+    result = ExperimentResult(experiment=experiment, title=title, columns=LATENCY_COLUMNS)
+    for accumulator in accumulators:
+        span = wall_seconds.get(accumulator.label) if wall_seconds else None
+        result.add_row(*latency_row(accumulator, span))
+    return result

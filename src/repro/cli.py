@@ -1,18 +1,25 @@
 """Command-line interface.
 
-Two sub-commands are provided::
+Four sub-commands are provided::
 
     pitex query --dataset lastfm --group mid --k 3 --method indexest+
     pitex bench --experiment fig7 --preset smoke
+    pitex index-build --dataset lastfm --scale 0.2 --store ./pitex-store
+    pitex serve-replay --dataset lastfm --scale 0.2 --store ./pitex-store --num-queries 50
 
 ``query`` answers a handful of PITEX queries on a synthetic dataset and prints
 the selected tag sets; ``bench`` runs one (or all) of the table/figure drivers
-and prints the reproduced rows.
+and prints the reproduced rows; ``index-build`` builds the offline indexes and
+persists them into an :class:`~repro.serve.store.IndexStore`; ``serve-replay``
+answers a seeded query stream through the concurrent
+:class:`~repro.serve.service.PitexService` (warm-starting from the store when
+it holds a matching index) and prints the latency/throughput table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -23,6 +30,8 @@ from repro.bench.reporting import format_table
 from repro.core.engine import METHODS, PitexEngine
 from repro.datasets.profiles import profile_names
 from repro.datasets.synthetic import load_dataset
+
+INDEX_METHODS_RR = ("indexest", "indexest+")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -39,11 +48,14 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--num-queries", type=int, default=3)
     query.add_argument("--k", type=int, default=3)
     query.add_argument("--method", choices=METHODS, default="indexest+")
+    query.add_argument("--kernel", choices=("csr", "dict"), default="csr",
+                       help="sampling kernel: vectorized CSR (default) or per-edge dict reference")
     query.add_argument("--epsilon", type=float, default=0.7)
     query.add_argument("--delta", type=float, default=1000.0)
     query.add_argument("--max-samples", type=int, default=300)
     query.add_argument("--index-samples", type=int, default=800)
     query.add_argument("--seed", type=int, default=2017)
+    query.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
 
     bench = subparsers.add_parser("bench", help="run table/figure reproduction experiments")
     bench.add_argument(
@@ -54,12 +66,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--preset", choices=("smoke", "default", "full"), default="smoke")
     bench.add_argument("--seed", type=int, default=None)
+
+    build = subparsers.add_parser(
+        "index-build", help="build the offline indexes and persist them to an index store"
+    )
+    build.add_argument("--dataset", choices=profile_names(), default="lastfm")
+    build.add_argument("--scale", type=float, default=0.2)
+    build.add_argument("--index-samples", type=int, default=250)
+    build.add_argument("--seed", type=int, default=2017)
+    build.add_argument("--store", default="./pitex-store", help="index store directory")
+    build.add_argument(
+        "--kind",
+        choices=("rr-graphs", "delaymat", "both"),
+        default="both",
+        help="which offline index to build and persist",
+    )
+    build.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
+
+    replay = subparsers.add_parser(
+        "serve-replay",
+        help="replay a seeded query workload through the concurrent serving layer",
+    )
+    replay.add_argument("--dataset", choices=profile_names(), default="lastfm")
+    replay.add_argument("--scale", type=float, default=0.2)
+    replay.add_argument("--num-queries", type=int, default=50)
+    replay.add_argument("--k", type=int, default=2)
+    replay.add_argument("--method", choices=METHODS, default="indexest")
+    replay.add_argument("--epsilon", type=float, default=0.7)
+    replay.add_argument("--delta", type=float, default=1000.0)
+    replay.add_argument("--max-samples", type=int, default=100)
+    replay.add_argument("--index-samples", type=int, default=250)
+    replay.add_argument("--seed", type=int, default=2017)
+    replay.add_argument("--stream-seed", type=int, default=None,
+                        help="seed of the query stream (defaults to --seed)")
+    replay.add_argument("--store", default=None,
+                        help="index store directory for the warm start (omit to build in-process)")
+    replay.add_argument("--workers", type=int, default=2)
+    replay.add_argument("--max-batch", type=int, default=8)
+    replay.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
     return parser
 
 
 def _run_query(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    print(f"dataset: {dataset.describe()}")
     engine = PitexEngine(
         dataset.graph,
         dataset.model,
@@ -69,11 +118,36 @@ def _run_query(args: argparse.Namespace) -> int:
         index_samples=args.index_samples,
         default_k=args.k,
         seed=args.seed,
+        kernel=args.kernel,
     )
     users = dataset.workload(args.group, args.num_queries)
-    for user in users:
-        result = engine.query(user=user, k=args.k, method=args.method)
-        print(result.describe())
+    if not args.json:
+        # Text mode streams one line per query as it completes.
+        print(f"dataset: {dataset.describe()}")
+        for user in users:
+            print(engine.query(user=user, k=args.k, method=args.method).describe())
+        return 0
+    results = [engine.query(user=user, k=args.k, method=args.method) for user in users]
+    document = {
+        "dataset": dataset.describe(),
+        "method": args.method,
+        "kernel": args.kernel,
+        "k": args.k,
+        "results": [
+            {
+                "user": result.query.user,
+                "tag_ids": list(result.tag_ids),
+                "tags": list(result.tags),
+                "spread": result.spread,
+                "evaluated_tag_sets": result.evaluated_tag_sets,
+                "pruned_tag_sets": result.pruned_tag_sets,
+                "edges_visited": result.edges_visited,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            for result in results
+        ],
+    }
+    print(json.dumps(document, indent=2))
     return 0
 
 
@@ -91,6 +165,105 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_index_build(args: argparse.Namespace) -> int:
+    from repro.serve.store import IndexStore
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    store = IndexStore(args.store)
+    graph, model = dataset.graph, dataset.model
+    built = []
+    if args.kind in ("rr-graphs", "both"):
+        index, loaded, seconds = store.load_or_build_rr(
+            graph, model, args.index_samples, seed=args.seed
+        )
+        built.append(("rr-graphs", loaded, seconds, index.memory_bytes()))
+    if args.kind in ("delaymat", "both"):
+        index, loaded, seconds = store.load_or_build_delayed(
+            graph, model, args.index_samples, seed=args.seed
+        )
+        built.append(("delaymat", loaded, seconds, index.memory_bytes()))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "dataset": args.dataset,
+                    "scale": args.scale,
+                    "index_samples": args.index_samples,
+                    "store": str(store.root),
+                    "graph_fingerprint": graph.fingerprint(),
+                    "indexes": [
+                        {"kind": kind, "loaded": loaded, "seconds": seconds, "memory_bytes": size}
+                        for kind, loaded, seconds, size in built
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"dataset: {dataset.describe()}")
+    print(f"store:   {store.root}  (graph fingerprint {graph.fingerprint()[:16]})")
+    for kind, loaded, seconds, size in built:
+        action = "loaded from store" if loaded else "built and persisted"
+        print(f"{kind}: {action} in {seconds:.3f}s ({size / 1e6:.2f} MB in memory)")
+    return 0
+
+
+def _run_serve_replay(args: argparse.Namespace) -> int:
+    from repro.serve.replay import replay_stream
+    from repro.serve.service import PitexService
+    from repro.serve.store import IndexStore
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graph, model = dataset.graph, dataset.model
+    rr_index = delayed_index = None
+    index_info = []
+    if args.store is not None:
+        store = IndexStore(args.store)
+        if args.method in INDEX_METHODS_RR:
+            rr_index, loaded, seconds = store.load_or_build_rr(
+                graph, model, args.index_samples, seed=args.seed
+            )
+            index_info.append(("rr-graphs", loaded, seconds))
+        elif args.method == "delaymat":
+            delayed_index, loaded, seconds = store.load_or_build_delayed(
+                graph, model, args.index_samples, seed=args.seed
+            )
+            index_info.append(("delaymat", loaded, seconds))
+    engine = PitexEngine(
+        graph,
+        model,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        max_samples=args.max_samples,
+        index_samples=args.index_samples,
+        default_k=args.k,
+        seed=args.seed,
+        rr_index=rr_index,
+        delayed_index=delayed_index,
+    )
+    stream_seed = args.stream_seed if args.stream_seed is not None else args.seed
+    stream = dataset.query_workload.query_stream(args.num_queries, seed=stream_seed)
+    with PitexService.for_engine(engine, num_workers=args.workers, max_batch=args.max_batch) as service:
+        report = replay_stream(service, stream, method=args.method, k=args.k)
+    if args.json:
+        document = report.to_json()
+        document["dataset"] = args.dataset
+        document["scale"] = args.scale
+        document["indexes"] = [
+            {"kind": kind, "loaded": loaded, "seconds": seconds}
+            for kind, loaded, seconds in index_info
+        ]
+        document["service"] = service.metrics.snapshot()
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"dataset: {dataset.describe()}")
+        for kind, loaded, seconds in index_info:
+            action = "loaded from store" if loaded else "built and persisted"
+            print(f"{kind}: {action} in {seconds:.3f}s")
+        print(format_table(report.to_result()))
+    return 0 if report.failures == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``pitex`` console script)."""
     parser = _build_parser()
@@ -99,6 +272,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_query(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "index-build":
+        return _run_index_build(args)
+    if args.command == "serve-replay":
+        return _run_serve_replay(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -68,6 +68,12 @@ class PitexEngine:
         ``"csr"`` (default) runs the sampling estimators on the vectorized
         CSR kernels; ``"dict"`` selects the per-edge reference walkers, kept
         for equivalence testing and for the CSR-vs-dict benchmarks.
+    rr_index, delayed_index:
+        Optional *prebuilt* offline indexes (typically loaded from a
+        :class:`repro.serve.store.IndexStore`).  A supplied index must have
+        been built for this exact ``graph`` instance and still be fresh; the
+        engine then skips the corresponding offline build entirely, which is
+        the serving layer's warm-start path.
     """
 
     def __init__(
@@ -81,6 +87,8 @@ class PitexEngine:
         default_k: int = 3,
         seed: SeedLike = None,
         kernel: str = "csr",
+        rr_index: Optional[RRGraphIndex] = None,
+        delayed_index: Optional[DelayedMaterializationIndex] = None,
     ) -> None:
         if graph.num_topics != model.num_topics:
             raise InvalidParameterError(
@@ -105,6 +113,10 @@ class PitexEngine:
         self._rr_index: Optional[RRGraphIndex] = None
         self._delayed_index: Optional[DelayedMaterializationIndex] = None
         self._estimators: Dict[Tuple[str, float, float, int], InfluenceEstimator] = {}
+        if rr_index is not None:
+            self.attach_rr_index(rr_index)
+        if delayed_index is not None:
+            self.attach_delayed_index(delayed_index)
 
     # ----------------------------------------------------------------- indexes
     @property
@@ -129,6 +141,44 @@ class PitexEngine:
         """Eagerly build both offline indexes (otherwise built lazily)."""
         _ = self.rr_index
         _ = self.delayed_index
+
+    def attach_rr_index(self, index: RRGraphIndex) -> None:
+        """Adopt a prebuilt RR-Graph index (the load-from-store warm path).
+
+        Any estimators built against the previous index are dropped so later
+        queries cannot silently keep answering from the replaced snapshot.
+        """
+        self._check_prebuilt(index, "rr_index")
+        self._rr_index = index
+        self._drop_index_estimators()
+
+    def attach_delayed_index(self, index: DelayedMaterializationIndex) -> None:
+        """Adopt a prebuilt delayed-materialization index."""
+        self._check_prebuilt(index, "delayed_index")
+        self._delayed_index = index
+        self._drop_index_estimators()
+
+    def _check_prebuilt(self, index, name: str) -> None:
+        if index.graph is not self.graph:
+            raise InvalidParameterError(
+                f"prebuilt {name} was built for a different graph instance"
+            )
+        if not index.is_built:
+            raise InvalidParameterError(
+                f"prebuilt {name} is not built (or is stale for graph version "
+                f"{self.graph.version}); load it against the current graph state"
+            )
+        if index.num_samples != self.index_samples:
+            raise InvalidParameterError(
+                f"prebuilt {name} holds {index.num_samples} samples but the engine "
+                f"was configured with index_samples={self.index_samples}; mixing "
+                "accuracies would silently change estimates (pass index_samples="
+                f"{index.num_samples} to adopt the index's theta)"
+            )
+
+    def _drop_index_estimators(self) -> None:
+        for key in [k for k in self._estimators if k[0] in ("indexest", "indexest+", "delaymat")]:
+            del self._estimators[key]
 
     # -------------------------------------------------------------- estimators
     def estimator(

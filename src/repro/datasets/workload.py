@@ -9,7 +9,7 @@ draws reproducible query users per group.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.algorithms import out_degree_groups
@@ -48,6 +48,47 @@ class QueryWorkload:
                 picked.add(candidate)
                 result.append(candidate)
         return result
+
+    def query_stream(
+        self,
+        num_queries: int,
+        group_weights: Optional[Dict[str, float]] = None,
+        seed: SeedLike = None,
+    ) -> List[Tuple[str, int]]:
+        """A reproducible stream of ``(group, user)`` query events.
+
+        This is the arrival sequence the serving layer replays
+        (:mod:`repro.serve.replay`): each event first draws a group (by
+        ``group_weights``, defaulting to equal weight on every non-empty
+        group, mirroring the paper's per-group query batches) and then a
+        uniform user from that group.  Unlike :meth:`users`, the stream draws
+        from its *own* seeded RNG, so the same ``seed`` always reproduces the
+        same stream regardless of any earlier sampling on this workload.
+        """
+        if num_queries <= 0:
+            raise InvalidParameterError(f"num_queries must be positive, got {num_queries}")
+        populated = [name for name in GROUPS if self.groups.get(name)]
+        if not populated:
+            raise InvalidParameterError("every out-degree group is empty for this graph")
+        if group_weights is not None:
+            unknown = set(group_weights) - set(GROUPS)
+            if unknown:
+                raise InvalidParameterError(f"unknown groups in group_weights: {sorted(unknown)}")
+            weighted = [(name, float(group_weights.get(name, 0.0))) for name in populated]
+            weighted = [(name, weight) for name, weight in weighted if weight > 0.0]
+            if not weighted:
+                raise InvalidParameterError("group_weights leaves no populated group selectable")
+        else:
+            weighted = [(name, 1.0) for name in populated]
+        rng = spawn_rng(seed)
+        names = [name for name, _ in weighted]
+        weights = [weight for _, weight in weighted]
+        stream: List[Tuple[str, int]] = []
+        for _ in range(num_queries):
+            group = names[rng.weighted_index(weights)]
+            members = self.groups[group]
+            stream.append((group, members[rng.integer(0, len(members))]))
+        return stream
 
     def group_sizes(self) -> Dict[str, int]:
         """Number of users in each group."""

@@ -21,6 +21,7 @@ the graph or desynchronize the CSR cache.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -81,6 +82,7 @@ class TopicSocialGraph:
         self._max_probs: Optional[np.ndarray] = None
         self._csr: Optional[CSRAdjacency] = None
         self._version = 0
+        self._fingerprint: Optional[Tuple[int, str]] = None
         if vertex_labels is not None:
             if len(vertex_labels) != num_vertices:
                 raise GraphError(
@@ -230,6 +232,24 @@ class TopicSocialGraph:
         detect that a cached derived structure refers to an older graph.
         """
         return self._version
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph (shape, topology and probabilities).
+
+        Two graphs built from the same edges in the same order share a
+        fingerprint even across processes, which is what lets a persisted
+        index (:mod:`repro.serve.store`) be matched against a freshly
+        regenerated dataset.  The hash is cached per :attr:`version` so
+        repeated store lookups do not rehash an unchanged graph.
+        """
+        if self._fingerprint is None or self._fingerprint[0] != self._version:
+            digest = hashlib.sha256()
+            digest.update(f"v{self._num_vertices}:z{self._num_topics}:".encode())
+            digest.update(np.asarray(self._edge_source, dtype=np.int64).tobytes())
+            digest.update(np.asarray(self._edge_target, dtype=np.int64).tobytes())
+            digest.update(np.ascontiguousarray(self.probability_matrix, dtype=float).tobytes())
+            self._fingerprint = (self._version, digest.hexdigest())
+        return self._fingerprint[1]
 
     # ----------------------------------------------------------- probabilities
     def topic_probabilities(self, edge_id: int) -> np.ndarray:

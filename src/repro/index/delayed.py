@@ -91,6 +91,52 @@ class DelayedMaterializationIndex:
         self._require_built()
         return 16 * len(self.containment_counts)
 
+    # -------------------------------------------------------------- serialize
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """The per-user containment counters as two parallel arrays.
+
+        Users are sorted so the serialized form is canonical; the counts are
+        the index's entire state (recovery is re-randomized at query time).
+        """
+        self._require_built()
+        users = np.array(sorted(self.containment_counts), dtype=np.int64)
+        counts = np.array([self.containment_counts[int(u)] for u in users], dtype=np.int64)
+        return {
+            "containment_users": users,
+            "containment_counts": counts,
+            "num_samples": np.array([self.num_samples], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: TopicSocialGraph,
+        arrays: Dict[str, np.ndarray],
+        built_version: Optional[int] = None,
+        build_seconds: float = 0.0,
+        seed: SeedLike = None,
+    ) -> "DelayedMaterializationIndex":
+        """Reassemble an index from :meth:`to_arrays` output.
+
+        ``seed`` feeds the recovery RNG of the reloaded index.  Note that a
+        *built* index's own RNG has already consumed draws during
+        :meth:`build`, so same-seed built and loaded indexes do NOT recover
+        identical RR-Graphs through their internal streams.  For bitwise
+        reproducibility, pass an explicit seed at the estimator level
+        instead: two :class:`DelayedIndexEstimator` instances constructed
+        with the same ``seed`` over equal containment counts produce
+        identical estimates (this is what the serving layer and the
+        roundtrip tests rely on).
+        """
+        index = cls(graph, int(arrays["num_samples"][0]), seed=seed)
+        users = np.asarray(arrays["containment_users"], dtype=np.int64)
+        counts = np.asarray(arrays["containment_counts"], dtype=np.int64)
+        index.containment_counts = {int(u): int(c) for u, c in zip(users, counts)}
+        index._built = True
+        index._built_version = graph.version if built_version is None else int(built_version)
+        index.build_seconds = float(build_seconds)
+        return index
+
     # ----------------------------------------------------------------- recover
     def recover_rr_graph(self, user: int, rng: Optional[RandomSource] = None) -> RRGraph:
         """Algorithm 4: recover one RR-Graph containing ``user``.

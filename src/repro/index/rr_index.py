@@ -123,6 +123,101 @@ class RRGraphIndex:
             method="indexest",
         )
 
+    # -------------------------------------------------------------- serialize
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the built index into named arrays for ``npz`` persistence.
+
+        The RR-Graphs are concatenated into parallel arrays with per-graph
+        ``indptr`` offsets (the same layout the CSR kernels use), so the whole
+        index round-trips through :func:`numpy.savez_compressed` without any
+        per-graph Python objects.  Vertex ids are stored sorted per graph to
+        make the serialized form canonical.
+        """
+        self._require_built()
+
+        def concat(parts, dtype):
+            parts = list(parts)
+            if not parts:
+                return np.zeros(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        vertex_counts = np.array([rr.num_vertices for rr in self.rr_graphs], dtype=np.int64)
+        edge_counts = np.array([rr.num_edges for rr in self.rr_graphs], dtype=np.int64)
+        return {
+            "roots": np.array([rr.root for rr in self.rr_graphs], dtype=np.int64),
+            "vertex_indptr": np.concatenate(([0], np.cumsum(vertex_counts))).astype(np.int64),
+            "vertex_ids": concat(
+                (
+                    np.sort(np.fromiter(rr.vertices, dtype=np.int64, count=rr.num_vertices))
+                    for rr in self.rr_graphs
+                ),
+                np.int64,
+            ),
+            "edge_indptr": np.concatenate(([0], np.cumsum(edge_counts))).astype(np.int64),
+            "edge_ids": concat((rr.edge_ids for rr in self.rr_graphs), np.int64),
+            "edge_sources": concat((rr.edge_sources for rr in self.rr_graphs), np.int64),
+            "edge_targets": concat((rr.edge_targets for rr in self.rr_graphs), np.int64),
+            "edge_thresholds": concat((rr.edge_thresholds for rr in self.rr_graphs), float),
+            "num_samples": np.array([self.num_samples], dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls,
+        graph: TopicSocialGraph,
+        arrays: Dict[str, np.ndarray],
+        built_version: Optional[int] = None,
+        build_seconds: float = 0.0,
+    ) -> "RRGraphIndex":
+        """Reassemble an index from :meth:`to_arrays` output.
+
+        ``built_version`` is the ``graph.version`` recorded at save time; the
+        reconstructed index is only usable while the graph still has that
+        version (the usual staleness rule of :attr:`is_built`).  The rebuilt
+        containment lists are identical to the originals because graphs are
+        replayed in materialization order.
+        """
+        roots = np.asarray(arrays["roots"], dtype=np.int64)
+        index = cls(graph, int(arrays["num_samples"][0]))
+        vertex_indptr = np.asarray(arrays["vertex_indptr"], dtype=np.int64)
+        edge_indptr = np.asarray(arrays["edge_indptr"], dtype=np.int64)
+        vertex_ids = np.asarray(arrays["vertex_ids"], dtype=np.int64)
+        edge_ids = np.asarray(arrays["edge_ids"], dtype=np.int64)
+        edge_sources = np.asarray(arrays["edge_sources"], dtype=np.int64)
+        edge_targets = np.asarray(arrays["edge_targets"], dtype=np.int64)
+        edge_thresholds = np.asarray(arrays["edge_thresholds"], dtype=float)
+        for position, root in enumerate(roots.tolist()):
+            members = vertex_ids[vertex_indptr[position] : vertex_indptr[position + 1]]
+            rr_graph = RRGraph(root=int(root), vertices=set(members.tolist()))
+            lo, hi = int(edge_indptr[position]), int(edge_indptr[position + 1])
+            if hi > lo:
+                rr_graph.edge_ids = edge_ids[lo:hi].tolist()
+                rr_graph.edge_sources = edge_sources[lo:hi].tolist()
+                rr_graph.edge_targets = edge_targets[lo:hi].tolist()
+                rr_graph.edge_thresholds = edge_thresholds[lo:hi].tolist()
+            index.rr_graphs.append(rr_graph)
+        # Containment rebuild, vectorized: one stable sort groups the flat
+        # vertex array by vertex while keeping graph positions ascending
+        # (np.repeat emits positions in increasing order), reproducing exactly
+        # the lists build() accumulates.
+        if vertex_ids.size:
+            positions = np.repeat(
+                np.arange(len(roots), dtype=np.int64), np.diff(vertex_indptr)
+            )
+            order = np.argsort(vertex_ids, kind="stable")
+            sorted_vertices = vertex_ids[order]
+            sorted_positions = positions[order]
+            boundaries = np.flatnonzero(np.diff(sorted_vertices)) + 1
+            unique_vertices = sorted_vertices[np.concatenate(([0], boundaries))]
+            for vertex, postings in zip(
+                unique_vertices.tolist(), np.split(sorted_positions, boundaries)
+            ):
+                index.containment[vertex] = postings.tolist()
+        index._built = True
+        index._built_version = graph.version if built_version is None else int(built_version)
+        index.build_seconds = float(build_seconds)
+        return index
+
     # ------------------------------------------------------------------ stats
     def memory_bytes(self) -> int:
         """Approximate index footprint (graphs + containment lists)."""

@@ -1,0 +1,46 @@
+"""Online serving subsystem: persist, warm-cache and concurrently serve PITEX.
+
+The paper's whole design (Sec. 6) rests on an offline/online asymmetry: RR-Graph
+materialization is expensive, answering from it is cheap.  This package carries
+that asymmetry across process and query boundaries:
+
+* :mod:`repro.serve.store` -- :class:`IndexStore`: offline indexes serialized
+  to ``npz`` + JSON manifests keyed on graph fingerprint / version, model hash
+  and theta, with load-or-build semantics.
+* :mod:`repro.serve.cache` -- :class:`EngineCache`: an LRU of warm engines so
+  repeated queries skip engine construction and index builds.
+* :mod:`repro.serve.service` -- :class:`PitexService`: a thread-pooled query
+  front-end that batches concurrent requests per engine and records
+  p50/p95/p99 latency and throughput.
+* :mod:`repro.serve.replay` -- workload replay: fire a seeded
+  :meth:`QueryWorkload.query_stream` at a service and report a latency table
+  (the ``pitex serve-replay`` command and ``bench_serving`` driver).
+"""
+
+from repro.serve.store import IndexStore, StoreEntry, index_cache_key, KIND_DELAYED, KIND_RR
+from repro.serve.cache import EngineCache, EngineCacheStats
+from repro.serve.service import (
+    DEFAULT_ENGINE_KEY,
+    PitexService,
+    QueryRequest,
+    QueryResponse,
+    ServiceMetrics,
+)
+from repro.serve.replay import ReplayReport, replay_stream
+
+__all__ = [
+    "IndexStore",
+    "StoreEntry",
+    "index_cache_key",
+    "KIND_RR",
+    "KIND_DELAYED",
+    "EngineCache",
+    "EngineCacheStats",
+    "DEFAULT_ENGINE_KEY",
+    "PitexService",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceMetrics",
+    "ReplayReport",
+    "replay_stream",
+]

@@ -1,0 +1,171 @@
+"""Warm engine cache: LRU over (dataset, params) keys.
+
+Building a :class:`~repro.core.engine.PitexEngine` is cheap, but the engine's
+*warmth* is not: its offline indexes, its per-method estimator cache and the
+``DelayMat`` per-user recovered graphs all accumulate across queries.  The
+serving layer therefore keeps engines alive between requests in a small LRU
+keyed by whatever identifies an engine configuration to the caller (the CLI
+and the service use ``(dataset, scale, epsilon, delta, k, method knobs...)``
+tuples).
+
+Every cache hit is re-validated against the engine's graph ``version``: if the
+graph mutated after the engine was cached, its indexes and estimators describe
+a stale snapshot, so the entry is dropped and rebuilt instead of served.
+All operations are thread-safe; ``get_or_create`` serializes factory calls for
+the *same* key so concurrent requests cannot build one engine twice, while
+different keys build in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional
+
+from repro.core.engine import PitexEngine
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class EngineCacheStats:
+    """Counters describing cache behaviour since construction."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON friendly)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class _Entry:
+    engine: PitexEngine
+    graph_version: int
+
+
+@dataclass
+class _Gate:
+    """Single-flight gate: one build lock plus a waiter refcount.
+
+    The refcount lets the *last* leaving thread remove the gate from the
+    pending table, so a waiter blocked on the lock can never be orphaned onto
+    a gate a newcomer no longer sees (which would allow two concurrent
+    factory runs after a failed build).
+    """
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    refs: int = 0
+
+
+class EngineCache:
+    """A thread-safe LRU cache of warm :class:`PitexEngine` instances."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.stats = EngineCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._pending: dict = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[Hashable]:
+        """Cached keys, least-recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    # ------------------------------------------------------------------ core
+    def get(self, key: Hashable) -> Optional[PitexEngine]:
+        """The cached engine for ``key`` (refreshing recency), or ``None``.
+
+        A stale entry -- one whose graph mutated after caching -- is evicted
+        and reported as a miss.
+        """
+        return self._lookup(key, record=True)
+
+    def _lookup(self, key: Hashable, record: bool) -> Optional[PitexEngine]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if record:
+                    self.stats.misses += 1
+                return None
+            if entry.engine.graph.version != entry.graph_version:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                if record:
+                    self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if record:
+                self.stats.hits += 1
+            return entry.engine
+
+    def put(self, key: Hashable, engine: PitexEngine) -> None:
+        """Insert (or replace) an engine, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = _Entry(engine=engine, graph_version=engine.graph.version)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], PitexEngine]) -> PitexEngine:
+        """The cached engine for ``key``, building it with ``factory`` on a miss.
+
+        Concurrent misses on the same key run ``factory`` once: the first
+        caller builds under a per-key lock while the rest wait and then hit.
+        """
+        engine = self.get(key)
+        if engine is not None:
+            return engine
+        with self._lock:
+            gate = self._pending.get(key)
+            if gate is None:
+                gate = _Gate()
+                self._pending[key] = gate
+            gate.refs += 1
+        try:
+            with gate.lock:
+                # Double-check: another thread may have built while we waited.
+                engine = self._lookup(key, record=False)
+                if engine is not None:
+                    return engine
+                engine = factory()
+                self.put(key, engine)
+                return engine
+        finally:
+            # The last thread through removes the gate -- also after a
+            # double-check hit or a factory failure -- so _pending cannot
+            # grow one gate per key forever.
+            with self._lock:
+                gate.refs -= 1
+                if gate.refs == 0 and self._pending.get(key) is gate:
+                    self._pending.pop(key)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,338 @@
+"""``PitexService``: a concurrent, batching PITEX query front-end.
+
+The service accepts :class:`QueryRequest` submissions from any thread, queues
+them, and has a small worker pool drain the queue in *batches grouped by
+engine key*: an engine is not thread-safe (lazy index builds, estimator and
+``DelayMat`` recovery caches), so all requests against one engine run under a
+per-engine lock -- but grouping consecutive same-engine requests into one
+batch keeps a warm engine on one worker while other workers serve other
+engines.  Per-request queue wait and execution latency feed the
+:class:`ServiceMetrics` accumulators (p50/p95/p99, throughput), which is what
+``pitex serve-replay`` and ``bench_serving`` report.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Hashable, List, Optional
+
+from repro.core.engine import PitexEngine
+from repro.core.query import PitexResult
+from repro.exceptions import InvalidParameterError
+from repro.utils.stats import LatencyAccumulator
+
+DEFAULT_ENGINE_KEY = "default"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One PITEX query submitted to the service.
+
+    ``engine_key`` routes the request to an engine of the service's provider;
+    a single-engine service uses :data:`DEFAULT_ENGINE_KEY` for everything.
+    ``group`` is a free-form label (the workload's out-degree group) carried
+    into the per-group latency breakdown.
+    """
+
+    user: int
+    k: Optional[int] = None
+    method: str = "indexest+"
+    exploration: str = "best-effort"
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    engine_key: Hashable = DEFAULT_ENGINE_KEY
+    group: str = ""
+
+
+@dataclass
+class QueryResponse:
+    """The service's answer: the result plus its latency accounting."""
+
+    request: QueryRequest
+    result: Optional[PitexResult] = None
+    error: Optional[str] = None
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    batch_size: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query produced a result."""
+        return self.error is None and self.result is not None
+
+    @property
+    def latency_seconds(self) -> float:
+        """Total time inside the service (queue wait + execution)."""
+        return self.queue_seconds + self.execute_seconds
+
+
+class ServiceMetrics:
+    """Thread-safe request/latency instrumentation for the service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latency = LatencyAccumulator(label="total")
+        self.queue_wait = LatencyAccumulator(label="queue")
+        self.execution = LatencyAccumulator(label="execute")
+        self.by_group: Dict[str, LatencyAccumulator] = {}
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self._started_monotonic = time.monotonic()
+
+    def record(self, response: QueryResponse) -> None:
+        """Fold one finished response into the accumulators."""
+        with self._lock:
+            if response.ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+            self.latency.add(response.latency_seconds)
+            self.queue_wait.add(response.queue_seconds)
+            self.execution.add(response.execute_seconds)
+            group = response.request.group or "all"
+            accumulator = self.by_group.get(group)
+            if accumulator is None:
+                accumulator = LatencyAccumulator(label=group)
+                self.by_group[group] = accumulator
+            accumulator.add(response.latency_seconds)
+
+    def record_batch(self) -> None:
+        """Count one drained batch."""
+        with self._lock:
+            self.batches += 1
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly snapshot: counts, tails and throughput."""
+        with self._lock:
+            elapsed = time.monotonic() - self._started_monotonic
+            total = self.completed + self.failed
+            return {
+                "completed": self.completed,
+                "failed": self.failed,
+                "batches": self.batches,
+                "elapsed_seconds": elapsed,
+                "throughput_qps": (total / elapsed) if elapsed > 0 else 0.0,
+                "latency": self.latency.summary(),
+                "queue": self.queue_wait.summary(),
+                "execute": self.execution.summary(),
+                "groups": {name: acc.summary() for name, acc in sorted(self.by_group.items())},
+            }
+
+
+@dataclass
+class _Pending:
+    request: QueryRequest
+    future: "Future[QueryResponse]"
+    enqueued_monotonic: float = field(default_factory=time.monotonic)
+
+
+class PitexService:
+    """Thread-pooled, batch-scheduled PITEX query answering.
+
+    Parameters
+    ----------
+    engine_provider:
+        Callable mapping an ``engine_key`` to a (warm) engine -- typically
+        ``EngineCache.get_or_create`` partially applied, or a plain dict
+        lookup.  Called from worker threads; must be thread-safe.
+    num_workers:
+        Worker threads draining the queue.  More workers only help when the
+        workload spans several distinct engines (one engine serves serially,
+        even when reached through several keys).
+    max_batch:
+        Upper bound on how many same-engine requests one worker claims at
+        once.
+    """
+
+    def __init__(
+        self,
+        engine_provider: Callable[[Hashable], PitexEngine],
+        num_workers: int = 2,
+        max_batch: int = 8,
+    ) -> None:
+        if num_workers <= 0:
+            raise InvalidParameterError(f"num_workers must be positive, got {num_workers}")
+        if max_batch <= 0:
+            raise InvalidParameterError(f"max_batch must be positive, got {max_batch}")
+        self._provider = engine_provider
+        self.max_batch = int(max_batch)
+        self.metrics = ServiceMetrics()
+        self._queue: Deque[_Pending] = deque()
+        self._condition = threading.Condition()
+        # Serialization is per engine *instance*, not per key: a provider may
+        # map several keys to one engine (PitexService.for_engine does), and
+        # engines are not thread-safe.  _key_locks mirrors each key's last
+        # resolved engine lock so the batch claimer can prefer idle engines.
+        self._identity_locks: "weakref.WeakKeyDictionary[PitexEngine, threading.Lock]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._key_locks: Dict[Hashable, threading.Lock] = {}
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"pitex-serve-{i}", daemon=True)
+            for i in range(int(num_workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    @classmethod
+    def for_engine(cls, engine: PitexEngine, num_workers: int = 1, max_batch: int = 8) -> "PitexService":
+        """A service that answers everything with one fixed engine."""
+        return cls(lambda key: engine, num_workers=num_workers, max_batch=max_batch)
+
+    # ----------------------------------------------------------------- submit
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Queue one request; the future resolves to a :class:`QueryResponse`."""
+        future: "Future[QueryResponse]" = Future()
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("PitexService is closed")
+            self._queue.append(_Pending(request=request, future=future))
+            self._condition.notify()
+        return future
+
+    def query(
+        self,
+        user: int,
+        k: Optional[int] = None,
+        method: str = "indexest+",
+        engine_key: Hashable = DEFAULT_ENGINE_KEY,
+        **kwargs,
+    ) -> PitexResult:
+        """Synchronous convenience wrapper: submit, wait, unwrap or raise."""
+        request = QueryRequest(user=user, k=k, method=method, engine_key=engine_key, **kwargs)
+        response = self.submit(request).result()
+        if not response.ok:
+            raise RuntimeError(f"query failed: {response.error}")
+        return response.result
+
+    # ---------------------------------------------------------------- workers
+    def _claim_batch(self) -> Optional[List[_Pending]]:
+        """Block until work exists; claim up to ``max_batch`` same-key requests.
+
+        The batch takes the key of the oldest queued request whose engine is
+        not currently serving another worker (falling back to the oldest key
+        outright when every queued key is busy), and collects the queued
+        requests with that key in arrival order; other keys stay queued,
+        order preserved, for the next worker.  Preferring free engines keeps
+        one deep backlog against a single engine from parking every worker
+        behind the same per-engine lock.
+        """
+        with self._condition:
+            while not self._queue and not self._closed:
+                self._condition.wait()
+            if not self._queue:
+                return None
+            key = self._queue[0].request.engine_key
+            for pending in self._queue:
+                lock = self._key_locks.get(pending.request.engine_key)
+                if lock is None or not lock.locked():
+                    key = pending.request.engine_key
+                    break
+            batch: List[_Pending] = []
+            rest: Deque[_Pending] = deque()
+            while self._queue:
+                pending = self._queue.popleft()
+                if len(batch) < self.max_batch and pending.request.engine_key == key:
+                    batch.append(pending)
+                else:
+                    rest.append(pending)
+            self._queue = rest
+            return batch
+
+    def _lock_for(self, key: Hashable, engine: PitexEngine) -> threading.Lock:
+        """The serialization lock of ``engine``, also remembered under ``key``."""
+        with self._condition:
+            lock = self._identity_locks.get(engine)
+            if lock is None:
+                lock = threading.Lock()
+                self._identity_locks[engine] = lock
+            self._key_locks[key] = lock
+            return lock
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._claim_batch()
+            if batch is None:
+                return
+            key = batch[0].request.engine_key
+            self.metrics.record_batch()
+            try:
+                engine = self._provider(key)
+            except Exception as exc:  # engine build failed: fail the batch
+                self._fail_batch(batch, f"engine {key!r} unavailable: {exc}")
+                continue
+            with self._lock_for(key, engine):
+                for pending in batch:
+                    self._execute(engine, pending, len(batch))
+
+    def _execute(self, engine: PitexEngine, pending: _Pending, batch_size: int) -> None:
+        request = pending.request
+        if not pending.future.set_running_or_notify_cancel():
+            return  # client cancelled while queued; nothing to run or record
+        started = time.monotonic()
+        queue_seconds = started - pending.enqueued_monotonic
+        try:
+            result = engine.query(
+                user=request.user,
+                k=request.k,
+                method=request.method,
+                exploration=request.exploration,
+                epsilon=request.epsilon,
+                delta=request.delta,
+            )
+            response = QueryResponse(
+                request=request,
+                result=result,
+                queue_seconds=queue_seconds,
+                execute_seconds=time.monotonic() - started,
+                batch_size=batch_size,
+            )
+        except Exception as exc:
+            response = QueryResponse(
+                request=request,
+                error=f"{type(exc).__name__}: {exc}",
+                queue_seconds=queue_seconds,
+                execute_seconds=time.monotonic() - started,
+                batch_size=batch_size,
+            )
+        self.metrics.record(response)
+        pending.future.set_result(response)
+
+    def _fail_batch(self, batch: List[_Pending], message: str) -> None:
+        now = time.monotonic()
+        for pending in batch:
+            if not pending.future.set_running_or_notify_cancel():
+                continue  # cancelled while queued
+            response = QueryResponse(
+                request=pending.request,
+                error=message,
+                queue_seconds=now - pending.enqueued_monotonic,
+                batch_size=len(batch),
+            )
+            self.metrics.record(response)
+            pending.future.set_result(response)
+
+    # ------------------------------------------------------------------ close
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain the queue, then stop the workers."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "PitexService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

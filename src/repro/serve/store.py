@@ -1,0 +1,316 @@
+"""Persistent on-disk store for the offline PITEX indexes.
+
+The paper's offline/online split (Sec. 6) pays an expensive RR-Graph
+materialization once so every later query is cheap -- but the seed engine
+re-paid that cost in every process.  :class:`IndexStore` extends the split
+across process boundaries: a built :class:`~repro.index.rr_index.RRGraphIndex`
+or :class:`~repro.index.delayed.DelayedMaterializationIndex` is serialized to
+one compressed ``npz`` of flat arrays plus a JSON manifest, keyed on
+
+* the graph *content fingerprint* (:meth:`TopicSocialGraph.fingerprint`),
+* the graph ``version`` (mutation counter at build time),
+* the tag-topic model's content hash, and
+* the sampling parameter ``num_samples`` (theta).
+
+A store lookup therefore hits only when the exact graph/model/parameters the
+index was built for are presented again -- regenerating a synthetic dataset
+from the same profile and seed reproduces the same fingerprint, which is what
+makes the cold-process ``pitex serve-replay`` warm start work.
+
+Layout on disk (one directory per entry)::
+
+    <root>/<key>/manifest.json   # provenance + integrity fields
+    <root>/<key>/arrays.npz      # the index's flat arrays
+
+Writes go through a temporary directory and a final atomic rename, so a
+crashed writer can never leave a half-entry that a later load would trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import uuid
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.digraph import TopicSocialGraph
+from repro.index.delayed import DelayedMaterializationIndex
+from repro.index.rr_index import RRGraphIndex
+from repro.topics.model import TagTopicModel
+from repro.utils.rng import SeedLike
+from repro.utils.timer import Stopwatch
+
+FORMAT_VERSION = 1
+KIND_RR = "rr-graphs"
+KIND_DELAYED = "delaymat"
+KINDS = (KIND_RR, KIND_DELAYED)
+
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted index: its cache key, manifest and location."""
+
+    key: str
+    kind: str
+    path: Path
+    manifest: Dict
+
+    @property
+    def build_seconds(self) -> float:
+        """Offline build time recorded at save time."""
+        return float(self.manifest.get("build_seconds", 0.0))
+
+
+def index_cache_key(
+    kind: str,
+    graph: TopicSocialGraph,
+    model: TagTopicModel,
+    num_samples: int,
+) -> str:
+    """The store key for an index of ``kind`` over (graph, model, theta)."""
+    if kind not in KINDS:
+        raise InvalidParameterError(f"unknown index kind {kind!r}; choose from {KINDS}")
+    digest = sha256()
+    digest.update(f"format={FORMAT_VERSION};kind={kind};".encode())
+    digest.update(f"graph={graph.fingerprint()};version={graph.version};".encode())
+    digest.update(f"model={model.content_hash()};theta={int(num_samples)}".encode())
+    return digest.hexdigest()[:32]
+
+
+class IndexStore:
+    """Load-or-build persistence for the offline indexes.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first save).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ paths
+    def entry_path(self, key: str) -> Path:
+        """Directory of the entry with cache key ``key``."""
+        return self.root / key
+
+    def has(self, kind: str, graph: TopicSocialGraph, model: TagTopicModel, num_samples: int) -> bool:
+        """Whether a matching entry exists on disk."""
+        key = index_cache_key(kind, graph, model, num_samples)
+        return (self.entry_path(key) / MANIFEST_NAME).is_file()
+
+    def entries(self) -> List[StoreEntry]:
+        """All readable entries currently in the store."""
+        found: List[StoreEntry] = []
+        if not self.root.is_dir():
+            return found
+        for child in sorted(self.root.iterdir()):
+            if child.name.startswith("."):
+                continue  # in-flight staging dirs (.tmp-*) are not entries
+            manifest_path = child / MANIFEST_NAME
+            if not manifest_path.is_file():
+                continue
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            found.append(
+                StoreEntry(key=child.name, kind=manifest.get("kind", "?"), path=child, manifest=manifest)
+            )
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed.
+
+        Staging directories abandoned by a crashed writer (``.tmp-*``) are
+        swept as well but not counted -- they were never readable entries.
+        """
+        removed = 0
+        for entry in self.entries():
+            shutil.rmtree(entry.path, ignore_errors=True)
+            removed += 1
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.name.startswith(".tmp-"):
+                    shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    # ------------------------------------------------------------------- save
+    def _save(
+        self,
+        kind: str,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        num_samples: int,
+        arrays: Dict[str, np.ndarray],
+        build_seconds: float,
+    ) -> StoreEntry:
+        key = index_cache_key(kind, graph, model, num_samples)
+        manifest = {
+            "format": FORMAT_VERSION,
+            "kind": kind,
+            "key": key,
+            "graph_fingerprint": graph.fingerprint(),
+            "graph_version": graph.version,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "model_hash": model.content_hash(),
+            "num_samples": int(num_samples),
+            "build_seconds": float(build_seconds),
+            "created_unix": time.time(),
+            "arrays_file": ARRAYS_NAME,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = self.root / f".tmp-{key}-{uuid.uuid4().hex[:8]}"
+        staging.mkdir(parents=True)
+        final = self.entry_path(key)
+        try:
+            with open(staging / ARRAYS_NAME, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            (staging / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+            if final.exists():
+                shutil.rmtree(final)
+            try:
+                os.replace(staging, final)
+            except OSError:
+                # A concurrent writer landed the same key between our rmtree
+                # and replace.  Same key => same content; their entry is as
+                # good as ours, so treat the save as idempotent.
+                if not (final / MANIFEST_NAME).is_file():
+                    raise
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        return StoreEntry(key=key, kind=kind, path=self.entry_path(key), manifest=manifest)
+
+    def save_rr_index(self, index: RRGraphIndex, model: TagTopicModel) -> StoreEntry:
+        """Persist a built RR-Graph index."""
+        return self._save(
+            KIND_RR, index.graph, model, index.num_samples, index.to_arrays(), index.build_seconds
+        )
+
+    def save_delayed_index(self, index: DelayedMaterializationIndex, model: TagTopicModel) -> StoreEntry:
+        """Persist a built delayed-materialization index."""
+        return self._save(
+            KIND_DELAYED, index.graph, model, index.num_samples, index.to_arrays(), index.build_seconds
+        )
+
+    # ------------------------------------------------------------------- load
+    def _load_arrays(
+        self, kind: str, graph: TopicSocialGraph, model: TagTopicModel, num_samples: int
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict]]:
+        key = index_cache_key(kind, graph, model, num_samples)
+        entry = self.entry_path(key)
+        manifest_path = entry / MANIFEST_NAME
+        if not manifest_path.is_file():
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        # The key already encodes all of these; re-check so a hand-edited or
+        # corrupted entry degrades to a miss instead of a wrong answer.
+        if (
+            manifest.get("format") != FORMAT_VERSION
+            or manifest.get("kind") != kind
+            or manifest.get("graph_fingerprint") != graph.fingerprint()
+            or manifest.get("graph_version") != graph.version
+            or manifest.get("model_hash") != model.content_hash()
+            or manifest.get("num_samples") != int(num_samples)
+        ):
+            return None
+        arrays_path = entry / manifest.get("arrays_file", ARRAYS_NAME)
+        try:
+            with np.load(arrays_path) as payload:
+                arrays = {name: payload[name] for name in payload.files}
+        except (OSError, ValueError):
+            return None
+        return arrays, manifest
+
+    def load_rr_index(
+        self, graph: TopicSocialGraph, model: TagTopicModel, num_samples: int
+    ) -> Optional[RRGraphIndex]:
+        """The stored RR-Graph index for (graph, model, theta), or ``None``."""
+        loaded = self._load_arrays(KIND_RR, graph, model, num_samples)
+        if loaded is None:
+            return None
+        arrays, manifest = loaded
+        return RRGraphIndex.from_arrays(
+            graph,
+            arrays,
+            built_version=manifest["graph_version"],
+            build_seconds=manifest.get("build_seconds", 0.0),
+        )
+
+    def load_delayed_index(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        num_samples: int,
+        seed: SeedLike = None,
+    ) -> Optional[DelayedMaterializationIndex]:
+        """The stored delayed index for (graph, model, theta), or ``None``."""
+        loaded = self._load_arrays(KIND_DELAYED, graph, model, num_samples)
+        if loaded is None:
+            return None
+        arrays, manifest = loaded
+        return DelayedMaterializationIndex.from_arrays(
+            graph,
+            arrays,
+            built_version=manifest["graph_version"],
+            build_seconds=manifest.get("build_seconds", 0.0),
+            seed=seed,
+        )
+
+    # --------------------------------------------------------- load or build
+    def load_or_build_rr(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        num_samples: int,
+        seed: SeedLike = None,
+    ) -> Tuple[RRGraphIndex, bool, float]:
+        """Load the RR-Graph index if stored, else build and persist it.
+
+        Returns ``(index, loaded, seconds)`` where ``loaded`` says whether the
+        disk path was taken and ``seconds`` is the wall-clock cost of that
+        path (load time or build time) -- the numbers ``bench_serving``
+        compares.
+        """
+        watch = Stopwatch().start()
+        index = self.load_rr_index(graph, model, num_samples)
+        if index is not None:
+            watch.stop()
+            return index, True, watch.elapsed
+        index = RRGraphIndex(graph, num_samples, seed=seed).build()
+        self.save_rr_index(index, model)
+        watch.stop()
+        return index, False, watch.elapsed
+
+    def load_or_build_delayed(
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        num_samples: int,
+        seed: SeedLike = None,
+    ) -> Tuple[DelayedMaterializationIndex, bool, float]:
+        """Load the delayed index if stored, else build and persist it."""
+        watch = Stopwatch().start()
+        index = self.load_delayed_index(graph, model, num_samples, seed=seed)
+        if index is not None:
+            watch.stop()
+            return index, True, watch.elapsed
+        index = DelayedMaterializationIndex(graph, num_samples, seed=seed).build()
+        self.save_delayed_index(index, model)
+        watch.stop()
+        return index, False, watch.elapsed

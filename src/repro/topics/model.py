@@ -9,6 +9,7 @@ the Lemma 8 upper bound of best-effort exploration.
 
 from __future__ import annotations
 
+import hashlib
 from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -73,6 +74,7 @@ class TagTopicModel:
         self._tag_index: Dict[str, int] = {tag: i for i, tag in enumerate(self._tags)}
         self._posterior_cache: Dict[FrozenSet[int], np.ndarray] = {}
         self._jensen_ratios: Optional[np.ndarray] = None
+        self._content_hash: Optional[str] = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -301,6 +303,23 @@ class TagTopicModel:
         posterior_bounds = self.topic_posterior_upper_bound(tag_ids, k)
         dense_term = matrix @ posterior_bounds
         return np.minimum(sparse_term, dense_term)
+
+    def content_hash(self) -> str:
+        """Content hash of the model (matrix, prior and vocabulary).
+
+        Part of the persistent index-store cache key: an index answers queries
+        through ``p(e|W)`` vectors computed from this model, so a different
+        matrix/prior/vocabulary must never be matched against a stored index.
+        The model is immutable, so the digest is computed once and cached
+        (one store lookup hashes the key several times).
+        """
+        if self._content_hash is None:
+            digest = hashlib.sha256()
+            digest.update(np.ascontiguousarray(self._matrix, dtype=float).tobytes())
+            digest.update(np.ascontiguousarray(self._prior, dtype=float).tobytes())
+            digest.update("\x00".join(self._tags).encode())
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
 
     # ----------------------------------------------------------------- metrics
     def tag_topic_density(self) -> float:

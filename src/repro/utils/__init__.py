@@ -17,10 +17,12 @@ from repro.utils.rng import RandomSource, spawn_rng
 from repro.utils.heap import MinHeap, MaxHeap, LazyEdgeHeap
 from repro.utils.timer import Stopwatch, Counter, TimingRecord
 from repro.utils.stats import (
+    LatencyAccumulator,
     RunningMean,
     chernoff_upper_tail,
     chernoff_lower_tail,
     hoeffding_sample_size,
+    percentiles,
     relative_error,
 )
 from repro.utils.validation import (
@@ -39,10 +41,12 @@ __all__ = [
     "Stopwatch",
     "Counter",
     "TimingRecord",
+    "LatencyAccumulator",
     "RunningMean",
     "chernoff_upper_tail",
     "chernoff_lower_tail",
     "hoeffding_sample_size",
+    "percentiles",
     "relative_error",
     "ensure_positive_int",
     "ensure_probability",

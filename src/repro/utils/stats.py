@@ -10,8 +10,9 @@ running-statistics helpers used by the convergence experiment (Fig. 6).
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
 
 
 def chernoff_upper_tail(delta: float) -> float:
@@ -83,6 +84,35 @@ def log_sum_binomials(n: int, max_k: int) -> float:
     return peak + math.log(sum(math.exp(value - peak) for value in logs))
 
 
+def percentiles(values: Iterable[float], qs: Sequence[float]) -> List[float]:
+    """Linear-interpolation percentiles of ``values`` at each ``q`` in [0, 100].
+
+    The same convention as ``numpy.percentile(..., method="linear")``, kept in
+    pure Python so latency accounting does not allocate arrays per snapshot.
+    Raises on an empty input -- a latency table with no observations is a bug,
+    not a zero.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("percentiles() requires at least one value")
+    results: List[float] = []
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile rank must lie in [0, 100], got {q}")
+        position = (len(data) - 1) * q / 100.0
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            results.append(data[int(position)])
+        else:
+            fraction = position - lower
+            results.append(data[lower] * (1.0 - fraction) + data[upper] * fraction)
+    return results
+
+
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
 def relative_error(estimate: float, truth: float) -> float:
     """``|estimate - truth| / truth`` with a guard for a zero ground truth."""
     if truth == 0:
@@ -114,6 +144,19 @@ class RunningMean:
         for value in values:
             self.add(value)
 
+    def merge(self, other: "RunningMean") -> None:
+        """Fold another accumulator's moments in exactly (Chan's formula)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count, self.mean, self._m2 = other.count, other.mean, other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
     @property
     def variance(self) -> float:
         """Sample variance (0.0 with fewer than two observations)."""
@@ -131,6 +174,111 @@ class RunningMean:
         if self.count == 0:
             return float("inf")
         return z * self.std / math.sqrt(self.count)
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming latency statistics: mean/std plus tail percentiles.
+
+    The accumulator keeps a Welford :class:`RunningMean` for the exact
+    moments, exact min/max, and a bounded reservoir (Vitter's Algorithm R,
+    seeded so runs are reproducible) of at most ``max_samples`` observations
+    for the percentile snapshot -- memory stays O(``max_samples``) no matter
+    how long a service lives, and percentiles are exact until the reservoir
+    first overflows.  One instance serves both the serving-layer
+    instrumentation (:mod:`repro.serve.service`) and the benchmark reporting
+    helpers (:mod:`repro.bench.reporting`).  Not thread-safe by itself;
+    concurrent writers must hold their own lock (the service does).
+    """
+
+    label: str = "latency"
+    max_samples: int = 65536
+    _samples: List[float] = field(default_factory=list)
+    _running: RunningMean = field(default_factory=RunningMean)
+    _min: float = float("inf")
+    _max: float = float("-inf")
+    _reservoir_rng: random.Random = field(default_factory=lambda: random.Random(0x51A75), repr=False)
+
+    def add(self, seconds: float) -> None:
+        """Record one latency observation (in seconds)."""
+        value = float(seconds)
+        self._running.add(value)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            slot = self._reservoir_rng.randrange(self._running.count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record several observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold another accumulator into this one.
+
+        Count, mean, std and min/max combine exactly (Welford moments merge
+        via Chan's formula); the percentile reservoir absorbs the other's
+        reservoir samples, so tails stay representative but -- as always once
+        a reservoir overflows -- approximate.
+        """
+        if other._running.count == 0:
+            return
+        self._running.merge(other._running)
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        for value in other._samples:
+            if len(self._samples) < self.max_samples:
+                self._samples.append(value)
+            else:
+                slot = self._reservoir_rng.randrange(self._running.count)
+                if slot < self.max_samples:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return self._running.count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (0.0 when empty)."""
+        return self._running.mean
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded latencies."""
+        return self._running.mean * self._running.count
+
+    def percentile(self, q: float) -> float:
+        """One percentile of the recorded latencies."""
+        return percentiles(self._samples, [q])[0]
+
+    def summary(self) -> dict:
+        """Snapshot dict: count, mean, std, p50/p95/p99, min/max (seconds)."""
+        if not self._samples:
+            return {
+                "label": self.label,
+                "count": 0,
+                "mean": 0.0,
+                "std": 0.0,
+                **{f"p{int(q)}": 0.0 for q in LATENCY_PERCENTILES},
+                "min": 0.0,
+                "max": 0.0,
+            }
+        tail = percentiles(self._samples, LATENCY_PERCENTILES)
+        return {
+            "label": self.label,
+            "count": self.count,
+            "mean": self.mean,
+            "std": self._running.std,
+            **{f"p{int(q)}": value for q, value in zip(LATENCY_PERCENTILES, tail)},
+            "min": self._min,
+            "max": self._max,
+        }
 
 
 @dataclass

@@ -56,3 +56,112 @@ def test_cli_bench_single_experiment(capsys):
 def test_cli_bench_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["bench", "--experiment", "fig99"])
+
+
+QUERY_SMOKE_ARGS = [
+    "query",
+    "--dataset", "lastfm",
+    "--scale", "0.08",
+    "--group", "mid",
+    "--num-queries", "1",
+    "--k", "2",
+    "--method", "lazy",
+    "--max-samples", "40",
+    "--index-samples", "60",
+    "--seed", "5",
+]
+
+
+def test_cli_query_kernel_flag_accepts_dict(capsys):
+    exit_code = main(QUERY_SMOKE_ARGS + ["--kernel", "dict"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "best 2-tag set" in captured.out
+
+
+def test_cli_query_json_output_is_parseable(capsys):
+    import json
+
+    exit_code = main(QUERY_SMOKE_ARGS + ["--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["method"] == "lazy"
+    assert document["kernel"] == "csr"
+    assert len(document["results"]) == 1
+    result = document["results"][0]
+    assert len(result["tag_ids"]) == 2
+    assert result["spread"] >= 1.0
+
+
+def test_cli_query_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        main(["query", "--kernel", "sparse"])
+
+
+def test_cli_index_build_then_serve_replay_warm_start(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "store")
+    common = [
+        "--dataset", "lastfm",
+        "--scale", "0.08",
+        "--index-samples", "60",
+        "--seed", "11",
+        "--store", store,
+    ]
+    exit_code = main(["index-build", *common, "--kind", "rr-graphs", "--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    build_doc = json.loads(captured.out)
+    assert build_doc["indexes"] == [
+        {
+            "kind": "rr-graphs",
+            "loaded": False,
+            "seconds": build_doc["indexes"][0]["seconds"],
+            "memory_bytes": build_doc["indexes"][0]["memory_bytes"],
+        }
+    ]
+
+    exit_code = main(
+        [
+            "serve-replay",
+            *common,
+            "--num-queries", "6",
+            "--k", "2",
+            "--method", "indexest",
+            "--max-samples", "40",
+            "--workers", "2",
+            "--json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    replay_doc = json.loads(captured.out)
+    assert replay_doc["indexes"] == [
+        {"kind": "rr-graphs", "loaded": True, "seconds": replay_doc["indexes"][0]["seconds"]}
+    ]
+    assert replay_doc["num_queries"] == 6
+    assert replay_doc["failures"] == 0
+    assert replay_doc["overall"]["count"] == 6
+    assert replay_doc["service"]["completed"] == 6
+
+
+def test_cli_serve_replay_without_store_builds_in_process(capsys):
+    exit_code = main(
+        [
+            "serve-replay",
+            "--dataset", "lastfm",
+            "--scale", "0.08",
+            "--index-samples", "60",
+            "--seed", "11",
+            "--num-queries", "4",
+            "--k", "2",
+            "--method", "lazy",
+            "--max-samples", "40",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "workload replay" in captured.out
+    assert "qps" in captured.out

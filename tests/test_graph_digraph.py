@@ -134,3 +134,25 @@ def test_probability_matrix_empty_graph():
     assert graph.probability_matrix.shape == (0, 2)
     assert graph.max_edge_probabilities().shape == (0,)
     assert graph.edge_probabilities_under([0.5, 0.5]).shape == (0,)
+
+
+def test_fingerprint_is_stable_and_content_addressed():
+    graph = make_triangle()
+    first = graph.fingerprint()
+    assert first == graph.fingerprint()  # cached per version, stable
+    twin = make_triangle()
+    assert twin.fingerprint() == first  # same construction => same fingerprint
+    reordered = TopicSocialGraph(3, 2)
+    reordered.add_edge(1, 2, [0.0, 0.9])
+    reordered.add_edge(0, 1, [0.5, 0.2])
+    reordered.add_edge(2, 0, [0.3, 0.3])
+    assert reordered.fingerprint() != first  # edge ids differ => different index keys
+
+
+def test_fingerprint_changes_on_mutation():
+    graph = make_triangle()
+    before = graph.fingerprint()
+    version = graph.version
+    graph.add_edge(0, 2, [0.1, 0.1])
+    assert graph.version == version + 1
+    assert graph.fingerprint() != before

@@ -1,0 +1,114 @@
+"""Tests for query-stream generation and the workload replay driver."""
+
+import pytest
+
+from repro.bench.reporting import LATENCY_COLUMNS
+from repro.core.engine import PitexEngine
+from repro.datasets.synthetic import load_dataset
+from repro.exceptions import InvalidParameterError
+from repro.serve.replay import replay_stream
+from repro.serve.service import PitexService
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("lastfm", scale=0.08, seed=11)
+
+
+# ---------------------------------------------------------------- query_stream
+def test_query_stream_is_deterministic_per_seed(dataset):
+    workload = dataset.query_workload
+    first = workload.query_stream(25, seed=42)
+    second = workload.query_stream(25, seed=42)
+    assert first == second
+    assert workload.query_stream(25, seed=43) != first
+
+
+def test_query_stream_is_insensitive_to_prior_draws(dataset):
+    workload = dataset.query_workload
+    expected = workload.query_stream(10, seed=7)
+    workload.users("mid", 5)  # consume the workload's own RNG
+    assert workload.query_stream(10, seed=7) == expected
+
+
+def test_query_stream_members_and_weights(dataset):
+    workload = dataset.query_workload
+    stream = workload.query_stream(40, seed=1)
+    assert len(stream) == 40
+    for group, user in stream:
+        assert user in workload.groups[group]
+    only_mid = workload.query_stream(30, group_weights={"mid": 1.0}, seed=1)
+    assert {group for group, _ in only_mid} == {"mid"}
+
+
+def test_query_stream_rejects_bad_arguments(dataset):
+    workload = dataset.query_workload
+    with pytest.raises(InvalidParameterError):
+        workload.query_stream(0, seed=1)
+    with pytest.raises(InvalidParameterError):
+        workload.query_stream(5, group_weights={"bogus": 1.0}, seed=1)
+    with pytest.raises(InvalidParameterError):
+        workload.query_stream(5, group_weights={"mid": 0.0}, seed=1)
+
+
+# ---------------------------------------------------------------- replay_stream
+def test_replay_reports_latencies_and_groups(dataset):
+    engine = PitexEngine(
+        dataset.graph, dataset.model, max_samples=40, index_samples=40, default_k=2, seed=3
+    )
+    stream = dataset.query_workload.query_stream(8, seed=5)
+    with PitexService.for_engine(engine, num_workers=2, max_batch=4) as service:
+        report = replay_stream(service, stream, method="lazy", k=2)
+    assert report.num_queries == 8
+    assert report.failures == 0
+    assert report.overall.count == 8
+    assert sum(acc.count for acc in report.by_group.values()) == 8
+    assert set(report.by_group) == {group for group, _ in stream}
+    assert report.wall_seconds > 0.0
+    assert report.throughput_qps > 0.0
+    table = report.to_result()
+    assert table.columns == LATENCY_COLUMNS
+    assert table.rows[0][0] == "all"
+    assert len(table.rows) == 1 + len(report.by_group)
+    document = report.to_json()
+    assert document["num_queries"] == 8
+    assert document["overall"]["count"] == 8
+    assert document["overall"]["p95"] >= document["overall"]["p50"]
+
+
+def test_replay_deterministic_results_for_seeded_stream_and_index(dataset):
+    """Same stream + same prebuilt index => identical per-query answers."""
+    from repro.index.rr_index import RRGraphIndex
+
+    index = RRGraphIndex(dataset.graph, 60, seed=9).build()
+    stream = dataset.query_workload.query_stream(6, seed=13)
+
+    def run():
+        engine = PitexEngine(
+            dataset.graph,
+            dataset.model,
+            max_samples=40,
+            index_samples=60,
+            default_k=2,
+            seed=3,
+            rr_index=index,
+        )
+        with PitexService.for_engine(engine, num_workers=2, max_batch=3) as service:
+            report = replay_stream(service, stream, method="indexest", k=2)
+        return [(r.request.user, r.result.tag_ids, r.result.spread) for r in report.responses]
+
+    assert run() == run()
+
+
+def test_replay_with_max_in_flight_and_empty_stream(dataset):
+    engine = PitexEngine(
+        dataset.graph, dataset.model, max_samples=40, index_samples=40, default_k=2, seed=3
+    )
+    stream = dataset.query_workload.query_stream(4, seed=5)
+    with PitexService.for_engine(engine) as service:
+        report = replay_stream(service, stream, method="lazy", k=2, max_in_flight=2)
+        assert report.failures == 0 and report.overall.count == 4
+        with pytest.raises(InvalidParameterError):
+            replay_stream(service, [], method="lazy")
+        with pytest.raises(InvalidParameterError):
+            replay_stream(service, stream, max_in_flight=0)

@@ -1,0 +1,178 @@
+"""Tests for the warm engine cache and the concurrent query service."""
+
+import threading
+
+import pytest
+
+from repro.core.engine import PitexEngine
+from repro.datasets.synthetic import load_dataset
+from repro.exceptions import InvalidParameterError
+from repro.serve.cache import EngineCache
+from repro.serve.service import DEFAULT_ENGINE_KEY, PitexService, QueryRequest
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("lastfm", scale=0.08, seed=11)
+
+
+def make_engine(dataset, seed=7):
+    return PitexEngine(
+        dataset.graph, dataset.model, max_samples=40, index_samples=40, default_k=2, seed=seed
+    )
+
+
+# ----------------------------------------------------------------- EngineCache
+def test_cache_hits_after_create(dataset):
+    cache = EngineCache(capacity=2)
+    engine = cache.get_or_create("a", lambda: make_engine(dataset))
+    assert cache.get_or_create("a", lambda: pytest.fail("factory re-ran on a hit")) is engine
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_cache_lru_eviction(dataset):
+    cache = EngineCache(capacity=2)
+    for key in ("a", "b", "c"):
+        cache.get_or_create(key, lambda: make_engine(dataset))
+    assert cache.stats.evictions == 1
+    assert cache.keys() == ["b", "c"]  # "a" was least recently used
+    cache.get("b")
+    cache.get_or_create("d", lambda: make_engine(dataset))
+    assert cache.keys() == ["b", "d"]  # "c" evicted, "b" refreshed
+
+
+def test_cache_invalidates_when_graph_version_changes(dataset):
+    cache = EngineCache(capacity=2)
+    graph = dataset.graph.copy()
+    engine = PitexEngine(graph, dataset.model, max_samples=40, index_samples=40, default_k=2)
+    cache.put("a", engine)
+    assert cache.get("a") is engine
+    source, target = next(
+        (s, t)
+        for s in graph.vertices()
+        for t in graph.vertices()
+        if s != t and not graph.has_edge(s, t)
+    )
+    graph.add_edge(source, target, [0.1] * graph.num_topics)
+    assert cache.get("a") is None  # stale entry dropped
+    assert cache.stats.invalidations == 1
+    rebuilt = cache.get_or_create("a", lambda: make_engine(dataset))
+    assert rebuilt is not engine
+
+
+def test_cache_concurrent_create_runs_factory_once(dataset):
+    cache = EngineCache(capacity=4)
+    calls = []
+    barrier = threading.Barrier(4)
+
+    def factory():
+        calls.append(1)
+        return make_engine(dataset)
+
+    def worker():
+        barrier.wait()
+        cache.get_or_create("shared", factory)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(calls) == 1
+
+
+def test_cache_rejects_nonpositive_capacity():
+    with pytest.raises(InvalidParameterError):
+        EngineCache(capacity=0)
+
+
+# ---------------------------------------------------------------- PitexService
+def test_service_answers_queries_and_records_metrics(dataset):
+    engine = make_engine(dataset)
+    users = dataset.workload("mid", 3)
+    with PitexService.for_engine(engine, num_workers=2, max_batch=2) as service:
+        futures = [
+            service.submit(QueryRequest(user=user, k=2, method="lazy", group="mid"))
+            for user in users
+        ]
+        responses = [future.result() for future in futures]
+    assert all(response.ok for response in responses)
+    assert all(response.result.tag_ids for response in responses)
+    snapshot = service.metrics.snapshot()
+    assert snapshot["completed"] == 3
+    assert snapshot["failed"] == 0
+    assert snapshot["batches"] >= 2  # max_batch=2 forces at least two batches
+    assert snapshot["latency"]["count"] == 3
+    assert snapshot["latency"]["p99"] >= snapshot["latency"]["p50"] > 0.0
+    assert snapshot["groups"]["mid"]["count"] == 3
+    assert snapshot["throughput_qps"] > 0.0
+
+
+def test_service_sync_query_and_failure_paths(dataset):
+    engine = make_engine(dataset)
+    with PitexService.for_engine(engine) as service:
+        result = service.query(user=dataset.workload("mid", 1)[0], k=2, method="lazy")
+        assert result.tag_ids
+        response = service.submit(QueryRequest(user=10**9, k=2, method="lazy")).result()
+        assert not response.ok
+        assert "UnknownVertexError" in response.error
+        with pytest.raises(RuntimeError):
+            service.query(user=10**9, k=2, method="lazy")
+    assert service.metrics.snapshot()["failed"] == 2
+
+
+def test_service_batches_group_same_engine_key(dataset):
+    engine = make_engine(dataset)
+    user = dataset.workload("mid", 1)[0]
+    with PitexService.for_engine(engine, num_workers=1, max_batch=8) as service:
+        futures = [
+            service.submit(QueryRequest(user=user, k=2, method="lazy")) for _ in range(6)
+        ]
+        responses = [future.result() for future in futures]
+    # With one worker, the first request may run alone but the backlog should
+    # drain in grouped batches rather than six singletons.
+    assert max(response.batch_size for response in responses) >= 2
+
+
+def test_service_routes_engine_keys_and_fails_unknown(dataset):
+    engines = {"a": make_engine(dataset, seed=1), "b": make_engine(dataset, seed=2)}
+
+    def provider(key):
+        return engines[key]
+
+    user = dataset.workload("mid", 1)[0]
+    with PitexService(provider, num_workers=2) as service:
+        ok_a = service.submit(QueryRequest(user=user, k=2, method="lazy", engine_key="a")).result()
+        ok_b = service.submit(QueryRequest(user=user, k=2, method="lazy", engine_key="b")).result()
+        bad = service.submit(QueryRequest(user=user, k=2, method="lazy", engine_key="zz")).result()
+    assert ok_a.ok and ok_b.ok
+    assert not bad.ok and "unavailable" in bad.error
+
+
+def test_service_survives_cancelled_queued_future(dataset):
+    engine = make_engine(dataset)
+    user = dataset.workload("mid", 1)[0]
+    with PitexService.for_engine(engine, num_workers=1, max_batch=4) as service:
+        first = service.submit(QueryRequest(user=user, k=2, method="lazy"))
+        second = service.submit(QueryRequest(user=user, k=2, method="lazy"))
+        third = service.submit(QueryRequest(user=user, k=2, method="lazy"))
+        second.cancel()  # may or may not win the race with the worker
+        # The worker must survive a cancelled future and keep draining.
+        assert first.result().ok
+        assert third.result().ok
+
+
+def test_service_rejects_submit_after_close(dataset):
+    service = PitexService.for_engine(make_engine(dataset))
+    service.close()
+    with pytest.raises(RuntimeError):
+        service.submit(QueryRequest(user=0, k=2, method="lazy", engine_key=DEFAULT_ENGINE_KEY))
+
+
+def test_service_rejects_bad_parameters(dataset):
+    engine = make_engine(dataset)
+    with pytest.raises(InvalidParameterError):
+        PitexService.for_engine(engine, num_workers=0)
+    with pytest.raises(InvalidParameterError):
+        PitexService.for_engine(engine, max_batch=0)

@@ -1,0 +1,166 @@
+"""Tests for the persistent index store (repro.serve.store).
+
+The load-bearing property: a loaded index answers *bitwise identically* to the
+index that was saved, and a store lookup never matches across a graph
+mutation, a different model, or different sampling parameters.
+"""
+
+import json
+
+import pytest
+
+from repro.core.engine import PitexEngine
+from repro.datasets.synthetic import load_dataset
+from repro.exceptions import InvalidParameterError
+from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
+from repro.index.rr_index import RRGraphIndex
+from repro.serve.store import MANIFEST_NAME, IndexStore, index_cache_key
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("lastfm", scale=0.08, seed=11)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return IndexStore(tmp_path / "store")
+
+
+def _sample_probabilities(dataset):
+    return dataset.model.edge_probabilities(dataset.graph, [0, 1])
+
+
+def test_rr_index_roundtrip_is_bitwise_equal(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    built = RRGraphIndex(graph, 80, seed=3).build()
+    store.save_rr_index(built, model)
+    loaded = store.load_rr_index(graph, model, 80)
+    assert loaded is not None and loaded.is_built
+    assert loaded.num_samples == built.num_samples
+    assert loaded.containment == built.containment
+    assert [rr.root for rr in loaded.rr_graphs] == [rr.root for rr in built.rr_graphs]
+    assert [rr.vertices for rr in loaded.rr_graphs] == [rr.vertices for rr in built.rr_graphs]
+    probabilities = _sample_probabilities(dataset)
+    for user in range(0, graph.num_vertices, 7):
+        original = built.estimate(user, probabilities)
+        reloaded = loaded.estimate(user, probabilities)
+        assert original.value == reloaded.value
+        assert original.num_samples == reloaded.num_samples
+        assert original.edges_visited == reloaded.edges_visited
+
+
+def test_delayed_index_roundtrip_matches_with_shared_seed(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    built = DelayedMaterializationIndex(graph, 80, seed=3).build()
+    store.save_delayed_index(built, model)
+    loaded = store.load_delayed_index(graph, model, 80)
+    assert loaded is not None and loaded.is_built
+    assert loaded.containment_counts == built.containment_counts
+    probabilities = _sample_probabilities(dataset)
+    users = [u for u in range(graph.num_vertices) if built.containment_counts.get(u)][:4]
+    for user in users:
+        original = DelayedIndexEstimator(graph, model, built, seed=21)
+        reloaded = DelayedIndexEstimator(graph, model, loaded, seed=21)
+        a = original.estimate_with_probabilities(user, probabilities)
+        b = reloaded.estimate_with_probabilities(user, probabilities)
+        assert a.value == b.value
+
+
+def test_engine_query_results_equal_with_loaded_index(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    built = RRGraphIndex(graph, 80, seed=3).build()
+    store.save_rr_index(built, model)
+    loaded = store.load_rr_index(graph, model, 80)
+    warm = PitexEngine(graph, model, max_samples=50, index_samples=80, default_k=2, seed=9, rr_index=loaded)
+    cold = PitexEngine(graph, model, max_samples=50, index_samples=80, default_k=2, seed=9, rr_index=built)
+    for user in dataset.workload("mid", 2):
+        a = warm.query(user=user, k=2, method="indexest")
+        b = cold.query(user=user, k=2, method="indexest")
+        assert a.tag_ids == b.tag_ids
+        assert a.spread == b.spread
+
+
+def test_lookup_misses_when_graph_version_changes(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    key_before = index_cache_key("rr-graphs", graph, model, 40)
+    mutated = graph.copy()
+    index = RRGraphIndex(mutated, 40, seed=1).build()
+    store.save_rr_index(index, model)
+    assert store.load_rr_index(mutated, model, 40) is not None
+    source, target = next(
+        (s, t)
+        for s in mutated.vertices()
+        for t in mutated.vertices()
+        if s != t and not mutated.has_edge(s, t)
+    )
+    mutated.add_edge(source, target, [0.1] * mutated.num_topics)
+    assert store.load_rr_index(mutated, model, 40) is None
+    assert index_cache_key("rr-graphs", mutated, model, 40) != key_before
+
+
+def test_lookup_keyed_on_model_and_theta(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    index = RRGraphIndex(graph, 40, seed=1).build()
+    store.save_rr_index(index, model)
+    assert store.load_rr_index(graph, model, 40) is not None
+    assert store.load_rr_index(graph, model, 41) is None
+    other_matrix = model.tag_topic_matrix.copy()
+    other_matrix[0, 0] += 0.05
+    from repro.topics.model import TagTopicModel
+
+    other_model = TagTopicModel(other_matrix, tags=model.tags)
+    assert store.load_rr_index(graph, other_model, 40) is None
+
+
+def test_corrupted_manifest_degrades_to_miss(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    index = RRGraphIndex(graph, 30, seed=1).build()
+    entry = store.save_rr_index(index, model)
+    manifest = json.loads((entry.path / MANIFEST_NAME).read_text())
+    manifest["graph_fingerprint"] = "tampered"
+    (entry.path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    assert store.load_rr_index(graph, model, 30) is None
+
+
+def test_load_or_build_builds_once_then_loads(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    first, loaded_first, _ = store.load_or_build_rr(graph, model, 40, seed=2)
+    assert not loaded_first and first.is_built
+    second, loaded_second, _ = store.load_or_build_rr(graph, model, 40, seed=2)
+    assert loaded_second
+    assert second.containment == first.containment
+    delayed, loaded_delayed, _ = store.load_or_build_delayed(graph, model, 40, seed=2)
+    assert not loaded_delayed and delayed.is_built
+    again, loaded_again, _ = store.load_or_build_delayed(graph, model, 40, seed=2)
+    assert loaded_again and again.containment_counts == delayed.containment_counts
+
+
+def test_entries_and_clear(dataset, store):
+    graph, model = dataset.graph, dataset.model
+    store.save_rr_index(RRGraphIndex(graph, 20, seed=1).build(), model)
+    store.save_delayed_index(DelayedMaterializationIndex(graph, 20, seed=1).build(), model)
+    kinds = sorted(entry.kind for entry in store.entries())
+    assert kinds == ["delaymat", "rr-graphs"]
+    assert store.clear() == 2
+    assert store.entries() == []
+
+
+def test_unknown_kind_rejected(dataset):
+    with pytest.raises(InvalidParameterError):
+        index_cache_key("bogus", dataset.graph, dataset.model, 10)
+
+
+def test_prebuilt_index_must_match_graph_instance(dataset):
+    graph, model = dataset.graph, dataset.model
+    other = graph.copy()
+    index = RRGraphIndex(other, 20, seed=1).build()
+    with pytest.raises(InvalidParameterError):
+        PitexEngine(graph, model, index_samples=20, rr_index=index)
+
+
+def test_prebuilt_index_must_match_engine_theta(dataset):
+    graph, model = dataset.graph, dataset.model
+    index = RRGraphIndex(graph, 20, seed=1).build()
+    with pytest.raises(InvalidParameterError, match="index_samples"):
+        PitexEngine(graph, model, index_samples=50, rr_index=index)

@@ -155,3 +155,18 @@ def test_restrict_tags(paper_example):
     assert restricted.num_tags == 2
     assert restricted.tags == ["w1", "w3"]
     assert np.allclose(restricted.tag_topic_matrix, model.tag_topic_matrix[[0, 2], :])
+
+
+def test_content_hash_tracks_matrix_prior_and_tags(paper_example):
+    _, model = paper_example
+    base = model.content_hash()
+    assert base == model.content_hash()  # deterministic
+    same = TagTopicModel(model.tag_topic_matrix.copy(), tags=model.tags)
+    assert same.content_hash() == base
+    other_matrix = model.tag_topic_matrix.copy()
+    other_matrix[0, 0] += 0.01
+    assert TagTopicModel(other_matrix, tags=model.tags).content_hash() != base
+    renamed = TagTopicModel(model.tag_topic_matrix.copy(), tags=["a", "b", "c", "d"])
+    assert renamed.content_hash() != base
+    reprior = TagTopicModel(model.tag_topic_matrix.copy(), topic_prior=[0.5, 0.3, 0.2], tags=model.tags)
+    assert reprior.content_hash() != base

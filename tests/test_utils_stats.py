@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.utils.stats import (
+    LatencyAccumulator,
     RunningMean,
     Series,
     chernoff_failure_probability,
@@ -13,6 +14,7 @@ from repro.utils.stats import (
     hoeffding_sample_size,
     log_binomial,
     log_sum_binomials,
+    percentiles,
     relative_error,
 )
 
@@ -96,3 +98,54 @@ def test_series_rows():
     series.add(1, 2.0)
     series.add(2, 3.0)
     assert series.as_rows() == [("lazy", 1.0, 2.0), ("lazy", 2.0, 3.0)]
+
+
+def test_percentiles_match_numpy_linear_interpolation():
+    np = pytest.importorskip("numpy")
+    values = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0]
+    qs = [0.0, 25.0, 50.0, 95.0, 99.0, 100.0]
+    expected = np.percentile(values, qs)
+    computed = percentiles(values, qs)
+    for got, want in zip(computed, expected):
+        assert got == pytest.approx(float(want))
+
+
+def test_percentiles_reject_empty_and_out_of_range():
+    with pytest.raises(ValueError):
+        percentiles([], [50.0])
+    with pytest.raises(ValueError):
+        percentiles([1.0], [101.0])
+
+
+def test_latency_accumulator_summary_and_merge():
+    accumulator = LatencyAccumulator(label="svc")
+    accumulator.extend([0.010, 0.020, 0.030, 0.040])
+    summary = accumulator.summary()
+    assert summary["label"] == "svc"
+    assert summary["count"] == 4
+    assert summary["mean"] == pytest.approx(0.025)
+    assert summary["p50"] == pytest.approx(0.025)
+    assert summary["min"] == 0.010 and summary["max"] == 0.040
+    assert accumulator.total == pytest.approx(0.100)
+    other = LatencyAccumulator(label="other")
+    other.add(0.100)
+    accumulator.merge(other)
+    assert accumulator.count == 5
+    assert accumulator.percentile(100.0) == pytest.approx(0.100)
+
+
+def test_latency_accumulator_empty_summary_is_zeroed():
+    summary = LatencyAccumulator().summary()
+    assert summary["count"] == 0
+    assert summary["p99"] == 0.0 and summary["mean"] == 0.0
+
+
+def test_latency_accumulator_reservoir_bounds_memory():
+    accumulator = LatencyAccumulator(max_samples=16)
+    accumulator.extend(float(i) for i in range(1000))
+    assert accumulator.count == 1000
+    assert len(accumulator._samples) == 16  # reservoir never exceeds the cap
+    summary = accumulator.summary()
+    assert summary["min"] == 0.0 and summary["max"] == 999.0  # exact despite sampling
+    assert summary["mean"] == pytest.approx(499.5)
+    assert 0.0 <= summary["p50"] <= 999.0
