@@ -3,14 +3,27 @@
 Paper shape: running time grows with k but far slower than the number of
 candidate tag sets C(|Omega|, k), because the low tag-topic density lets the
 best-effort strategy prune most unsupported tag sets.
+
+On top of the paper series, the ``lazy-batched`` series runs the same queries
+on the multi-instance event-queue kernel; the companion ``lazykernels``
+experiment gates the batched kernel at >= 3x over the sequential lazy kernel
+on one isolated estimation (the whole-query series also includes exploration
+overhead shared by both kernels, so its ratio is necessarily smaller).
 """
 
 import math
 
-from repro.bench.experiments import experiment_fig11
+from repro.bench.experiments import experiment_fig11, experiment_lazy_kernels
 from repro.bench.reporting import format_table
 
 K_VALUES = (1, 2, 3)
+
+#: Hard gate on the batched event-queue kernel vs the sequential lazy kernel:
+#: the mean speedup across the smoke datasets must reach 3x, and no single
+#: dataset may fall under the per-dataset floor (absorbs CI timer noise; the
+#: typical measured ratio is 3.3-4.5x).
+KERNEL_SPEEDUP_GATE = 3.0
+KERNEL_SPEEDUP_FLOOR = 2.5
 
 
 def test_fig11_efficiency_vs_k(benchmark, harness):
@@ -22,10 +35,53 @@ def test_fig11_efficiency_vs_k(benchmark, harness):
     for name in harness.config.datasets:
         num_tags = harness.dataset(name).model.num_tags
         lazy_times = {k: result.cell("seconds", dataset=name, k=k, method="lazy") for k in K_VALUES}
-        # Times are recorded for every k.
+        batched_times = {
+            k: result.cell("seconds", dataset=name, k=k, method="lazy-batched") for k in K_VALUES
+        }
+        # Times are recorded for every k, for both lazy kernels.
         assert all(v is not None for v in lazy_times.values())
+        assert all(v is not None for v in batched_times.values())
         # Sub-combinatorial growth: going from k=1 to k=3 multiplies the number of
         # candidate sets by C(n,3)/C(n,1) but the time by far less.
         candidate_blowup = math.comb(num_tags, 3) / max(1, math.comb(num_tags, 1))
         time_blowup = lazy_times[3] / max(lazy_times[1], 1e-6)
         assert time_blowup < candidate_blowup / 5, (name, time_blowup, candidate_blowup)
+        # The batched series does not fall behind the sequential lazy series.
+        # Wide slack on purpose: single-iteration whole-query timings on tiny
+        # smoke instances (typically batched is ~2x faster end to end); the
+        # hard perf gate is test_lazy_batched_kernel_speedup_gate below.
+        for k in K_VALUES:
+            assert batched_times[k] <= lazy_times[k] * 1.5, (name, k, batched_times, lazy_times)
+
+
+def test_lazy_batched_kernel_speedup_gate(harness):
+    """The batched event-queue kernel is >= 3x faster than the lazy csr kernel.
+
+    One isolated estimation per smoke dataset (most influential user and tag,
+    theta samples), fastest of five repetitions per kernel; this is the
+    kernel-for-kernel comparison the whole-query Fig. 11 series dilutes with
+    shared exploration overhead.  The dict kernel stays the tested reference:
+    its estimate must agree with the batched one within the (1 +- eps) band.
+    """
+    result = experiment_lazy_kernels(harness, theta=2000, repetitions=5)
+    print()
+    print(format_table(result))
+    epsilon = harness.config.epsilon
+    speedups = []
+    for name in harness.config.datasets:
+        batched = result.cell("seconds", dataset=name, kernel="batched")
+        sequential = result.cell("seconds", dataset=name, kernel="csr")
+        reference = result.cell("seconds", dataset=name, kernel="dict")
+        assert batched is not None and sequential is not None and reference is not None
+        speedup = sequential / max(batched, 1e-9)
+        speedups.append(speedup)
+        assert speedup >= KERNEL_SPEEDUP_FLOOR, (name, speedup, batched, sequential)
+        # Estimates of all three kernels agree within the accuracy band.
+        values = [
+            result.cell("estimate", dataset=name, kernel=kernel)
+            for kernel in ("batched", "csr", "dict")
+        ]
+        top, bottom = max(values), min(values)
+        assert top <= bottom * (1.0 + epsilon) / max(1.0 - epsilon, 1e-9), (name, values)
+    mean_speedup = sum(speedups) / len(speedups)
+    assert mean_speedup >= KERNEL_SPEEDUP_GATE, (mean_speedup, speedups)

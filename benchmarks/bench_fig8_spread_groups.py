@@ -16,7 +16,11 @@ def test_fig8_spread_by_user_group(benchmark, harness):
     result = benchmark.pedantic(experiment_fig8, args=(harness,), rounds=1, iterations=1)
     print()
     print(format_table(result))
-    guaranteed = [m for m in ("lazy", "mc", "indexest", "indexest+", "delaymat") if m in harness.config.methods]
+    guaranteed = [
+        m
+        for m in ("lazy", "lazy-batched", "mc", "indexest", "indexest+", "delaymat")
+        if m in harness.config.methods
+    ]
     for name in harness.config.datasets:
         high = [row[-1] for row in result.filter_rows(dataset=name, group="high") if row[2] in guaranteed]
         low = [row[-1] for row in result.filter_rows(dataset=name, group="low") if row[2] in guaranteed]

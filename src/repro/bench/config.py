@@ -60,8 +60,17 @@ class BenchmarkConfig:
     delta: float = 1000.0
     max_samples: int = 200
     index_samples: int = 600
-    methods: Tuple[str, ...] = ("rr", "mc", "lazy", "tim", "indexest", "indexest+", "delaymat")
-    online_methods: Tuple[str, ...] = ("mc", "rr", "lazy")
+    methods: Tuple[str, ...] = (
+        "rr",
+        "mc",
+        "lazy",
+        "lazy-batched",
+        "tim",
+        "indexest",
+        "indexest+",
+        "delaymat",
+    )
+    online_methods: Tuple[str, ...] = ("mc", "rr", "lazy", "lazy-batched")
     seed: int = 2017
     kernel: str = "csr"
 

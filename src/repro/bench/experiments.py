@@ -10,6 +10,7 @@ benchmarks can call the drivers independently without recomputation.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -142,6 +143,14 @@ def experiment_fig6(
             "lazy": LazyPropagationEstimator(
                 dataset.graph, dataset.model, budget, seed=harness.config.seed, early_stopping=False
             ),
+            "lazy-batched": LazyPropagationEstimator(
+                dataset.graph,
+                dataset.model,
+                budget,
+                seed=harness.config.seed,
+                early_stopping=False,
+                kernel="batched",
+            ),
         }
         for method, estimator in estimators.items():
             estimates = estimator.running_estimates(user, probabilities, list(checkpoints))
@@ -256,8 +265,13 @@ def experiment_fig11(
         title="Efficiency comparison when varying k",
         columns=("dataset", "k", "method", "seconds"),
     )
-    methods = tuple(m for m in ("lazy", "indexest", "indexest+", "delaymat") if m in harness.config.methods) or (
+    methods = tuple(
+        m
+        for m in ("lazy", "lazy-batched", "indexest", "indexest+", "delaymat")
+        if m in harness.config.methods
+    ) or (
         "lazy",
+        "lazy-batched",
         "indexest",
         "indexest+",
         "delaymat",
@@ -271,6 +285,61 @@ def experiment_fig11(
     result.add_note(
         "expected shape: time grows with k but far slower than C(|Omega|, k) thanks to best-effort pruning"
     )
+    result.add_note("expected shape: lazy-batched tracks lazy from below (batched event queue)")
+    return result
+
+
+# ----------------------------------------------------------- lazy kernel sweep
+def experiment_lazy_kernels(
+    harness: BenchmarkHarness, theta: int = 1000, repetitions: int = 3
+) -> ExperimentResult:
+    """Lazy-propagation kernel throughput: batched event queue vs csr vs dict.
+
+    One fixed estimation (most influential user, most influential tag) is run
+    ``theta`` sample instances per kernel, ``repetitions`` times; the fastest
+    repetition is reported (robust against scheduler noise on CI runners).
+    Feeds the >=3x batched-vs-sequential speedup gate of ``bench_fig11`` and
+    the cross-kernel estimate agreement check.
+    """
+    from repro.utils.timer import Stopwatch
+
+    result = ExperimentResult(
+        experiment="lazykernels",
+        title="Lazy propagation kernel throughput (one estimation, theta samples)",
+        columns=("dataset", "kernel", "theta", "seconds", "estimate"),
+    )
+    for name in harness.config.datasets:
+        dataset = harness.dataset(name)
+        user = dataset.most_influential_user()
+        tag = _most_influential_tag(harness, name, user)
+        probabilities = dataset.model.edge_probabilities(dataset.graph, (tag,))
+        budget = SampleBudget(
+            epsilon=harness.config.epsilon,
+            delta=harness.config.delta,
+            k=1,
+            num_tags=dataset.model.num_tags,
+            max_samples=theta,
+        )
+        for kernel in ("batched", "csr", "dict"):
+            estimator = LazyPropagationEstimator(
+                dataset.graph,
+                dataset.model,
+                budget,
+                seed=harness.config.seed,
+                early_stopping=False,
+                kernel=kernel,
+            )
+            estimator.estimate_with_probabilities(user, probabilities, min(200, theta))  # warm-up
+            best_seconds = math.inf
+            value = 0.0
+            for _ in range(repetitions):
+                watch = Stopwatch().start()
+                estimate = estimator.estimate_with_probabilities(user, probabilities, theta)
+                watch.stop()
+                best_seconds = min(best_seconds, watch.elapsed)
+                value = estimate.value
+            result.add_row(name, kernel, theta, round(best_seconds, 6), round(value, 4))
+    result.add_note("expected shape: batched >= 3x faster than csr/dict; estimates agree within eps")
     return result
 
 
@@ -402,6 +471,7 @@ def experiment_table4(
 EXPERIMENTS = {
     "table2": experiment_table2,
     "table3": experiment_table3,
+    "lazykernels": experiment_lazy_kernels,
     "fig6": experiment_fig6,
     "fig7": experiment_fig7,
     "fig8": experiment_fig8,

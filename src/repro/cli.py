@@ -27,9 +27,10 @@ from repro.bench.config import BenchmarkConfig
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.harness import BenchmarkHarness
 from repro.bench.reporting import format_table
-from repro.core.engine import METHODS, PitexEngine
+from repro.core.engine import METHODS, PitexEngine, resolved_kernel
 from repro.datasets.profiles import profile_names
 from repro.datasets.synthetic import load_dataset
+from repro.sampling.instrumentation import EstimatorInstrumentation
 
 INDEX_METHODS_RR = ("indexest", "indexest+")
 
@@ -48,8 +49,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--num-queries", type=int, default=3)
     query.add_argument("--k", type=int, default=3)
     query.add_argument("--method", choices=METHODS, default="indexest+")
-    query.add_argument("--kernel", choices=("csr", "dict"), default="csr",
-                       help="sampling kernel: vectorized CSR (default) or per-edge dict reference")
+    query.add_argument("--kernel", choices=("batched", "csr", "dict"), default="csr",
+                       help="sampling kernel: multi-instance batched event queue, "
+                            "vectorized CSR (default), or per-edge dict reference")
     query.add_argument("--epsilon", type=float, default=0.7)
     query.add_argument("--delta", type=float, default=1000.0)
     query.add_argument("--max-samples", type=int, default=300)
@@ -128,11 +130,17 @@ def _run_query(args: argparse.Namespace) -> int:
             print(engine.query(user=user, k=args.k, method=args.method).describe())
         return 0
     results = [engine.query(user=user, k=args.k, method=args.method) for user in users]
+    instrumentation = EstimatorInstrumentation()
+    for result in results:
+        instrumentation.record_query_result(
+            result.method, result.edges_visited, result.samples_drawn
+        )
     document = {
         "dataset": dataset.describe(),
         "method": args.method,
-        "kernel": args.kernel,
+        "kernel": resolved_kernel(args.method, args.kernel),
         "k": args.k,
+        "counters": instrumentation.as_dict(),
         "results": [
             {
                 "user": result.query.user,
@@ -142,6 +150,7 @@ def _run_query(args: argparse.Namespace) -> int:
                 "evaluated_tag_sets": result.evaluated_tag_sets,
                 "pruned_tag_sets": result.pruned_tag_sets,
                 "edges_visited": result.edges_visited,
+                "samples_drawn": result.samples_drawn,
                 "elapsed_seconds": result.elapsed_seconds,
             }
             for result in results

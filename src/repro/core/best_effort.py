@@ -74,33 +74,62 @@ class BestEffortExplorer:
         self.keep_evaluations = keep_evaluations
 
     # ------------------------------------------------------------------ bound
-    def _upper_bound(self, query: PitexQuery, partial_tags: Tuple[int, ...]) -> Tuple[float, int]:
-        """Upper bound on the spread of any size-``k`` completion of ``partial_tags``.
-
-        Returns ``(bound, edges_visited)``.
-        """
-        graph = self.estimator.graph
-        bound_probabilities = self.model.upper_bound_edge_probabilities(
-            graph, partial_tags, query.k
-        )
-        if not np.any(bound_probabilities > 0.0):
-            # No completion of this partial set can activate anyone beyond the seed.
-            return 1.0, 0
-        if self.bound_method == "reach":
-            reachable = reachable_with_probabilities(graph, query.user, bound_probabilities)
-            return float(len(reachable)), 0
-        num_samples = max(
+    def _bound_samples(self) -> int:
+        """Reduced sample count used by the sampled upper bound."""
+        return max(
             8,
             int(
-                self.estimator.budget.online_samples(graph.num_vertices)
+                self.estimator.budget.online_samples(self.estimator.graph.num_vertices)
                 * self.bound_sample_fraction
             ),
         )
-        estimate = self.estimator.estimate_with_probabilities(
-            query.user, bound_probabilities, num_samples=num_samples
-        )
-        inflated = estimate.value * (1.0 + query.epsilon)
-        return float(inflated), estimate.edges_visited
+
+    def _upper_bound(
+        self, query: PitexQuery, partial_tags: Tuple[int, ...]
+    ) -> Tuple[float, int, int]:
+        """Upper bound on the spread of any size-``k`` completion of ``partial_tags``.
+
+        Returns ``(bound, edges_visited, samples_drawn)``.
+        """
+        return self._upper_bounds_many(query, [partial_tags])[0]
+
+    def _upper_bounds_many(
+        self, query: PitexQuery, partials: List[Tuple[int, ...]]
+    ) -> List[Tuple[float, int, int]]:
+        """Upper bounds for a batch of partial tag sets (one expansion's children).
+
+        The ``p+`` probability rows of every partial set with a live completion
+        are evaluated through the estimator's
+        :meth:`~repro.sampling.base.InfluenceEstimator.estimate_many_with_probabilities`,
+        so a batched-kernel estimator answers the whole candidate frontier from
+        one shared event store; other kernels estimate row by row in the same
+        order, preserving their sequential sampling paths.
+        """
+        graph = self.estimator.graph
+        bounds: List[Optional[Tuple[float, int, int]]] = [None] * len(partials)
+        sampled_rows: List[np.ndarray] = []
+        sampled_slots: List[int] = []
+        for slot, partial_tags in enumerate(partials):
+            bound_probabilities = self.model.upper_bound_edge_probabilities(
+                graph, partial_tags, query.k
+            )
+            if not np.any(bound_probabilities > 0.0):
+                # No completion of this partial set can activate anyone beyond the seed.
+                bounds[slot] = (1.0, 0, 0)
+            elif self.bound_method == "reach":
+                reachable = reachable_with_probabilities(graph, query.user, bound_probabilities)
+                bounds[slot] = (float(len(reachable)), 0, 0)
+            else:
+                sampled_rows.append(bound_probabilities)
+                sampled_slots.append(slot)
+        if sampled_rows:
+            estimates = self.estimator.estimate_many_with_probabilities(
+                query.user, np.asarray(sampled_rows), num_samples=self._bound_samples()
+            )
+            for slot, estimate in zip(sampled_slots, estimates):
+                inflated = estimate.value * (1.0 + query.epsilon)
+                bounds[slot] = (float(inflated), estimate.edges_visited, estimate.num_samples)
+        return bounds
 
     # ---------------------------------------------------------------- explore
     def explore(
@@ -129,37 +158,55 @@ class BestEffortExplorer:
             )
 
         heap = MaxHeap()
-        root_bound, root_edges = self._upper_bound(query, ())
+        root_bound, root_edges, root_samples = self._upper_bound(query, ())
         heap.push(root_bound, ())
         best_tags: Tuple[int, ...] = ()
         best_spread = -1.0
         evaluated = 0
         pruned = 0
         edges_visited = root_edges
+        samples_drawn = root_samples
         evaluations: List[TagSetEvaluation] = []
 
+        # A batched-kernel estimator evaluates runs of complete tag sets popped
+        # from the heap together (one shared event store per drain).  Draining
+        # delays incumbent updates within one run, which can only evaluate
+        # *more* sets than the sequential order (never skip a better one), so
+        # the returned tag set is unaffected; sequential kernels keep the exact
+        # pop-one-evaluate-one reference behavior via a drain limit of 1.
+        drain_limit = 32 if getattr(self.estimator, "kernel", None) == "batched" else 1
         while heap:
             bound, partial = heap.pop()
             if len(partial) == query.k:
-                if bound <= best_spread and best_spread > 0.0:
-                    # The bound is an upper bound on this set's own spread, so it
-                    # cannot beat the incumbent; skip the estimation entirely.
-                    pruned += 1
+                drained: List[Tuple[float, Tuple[int, ...]]] = [(bound, partial)]
+                while len(drained) < drain_limit and heap and len(heap.peek()[1]) == query.k:
+                    drained.append(heap.pop())
+                to_evaluate: List[Tuple[int, ...]] = []
+                for set_bound, tag_set in drained:
+                    if set_bound <= best_spread and best_spread > 0.0:
+                        # The bound is an upper bound on this set's own spread,
+                        # so it cannot beat the incumbent; skip the estimation.
+                        pruned += 1
+                    else:
+                        to_evaluate.append(tag_set)
+                if not to_evaluate:
                     continue
-                estimate = self.estimator.estimate(query.user, partial)
-                evaluated += 1
-                edges_visited += estimate.edges_visited
-                evaluation = TagSetEvaluation(
-                    tag_ids=tuple(partial),
-                    spread=estimate.value,
-                    num_samples=estimate.num_samples,
-                    edges_visited=estimate.edges_visited,
-                )
-                if self.keep_evaluations:
-                    evaluations.append(evaluation)
-                if estimate.value > best_spread:
-                    best_spread = estimate.value
-                    best_tags = tuple(partial)
+                estimates = self.estimator.estimate_many(query.user, to_evaluate)
+                for tag_set, estimate in zip(to_evaluate, estimates):
+                    evaluated += 1
+                    edges_visited += estimate.edges_visited
+                    samples_drawn += estimate.num_samples
+                    evaluation = TagSetEvaluation(
+                        tag_ids=tuple(tag_set),
+                        spread=estimate.value,
+                        num_samples=estimate.num_samples,
+                        edges_visited=estimate.edges_visited,
+                    )
+                    if self.keep_evaluations:
+                        evaluations.append(evaluation)
+                    if estimate.value > best_spread:
+                        best_spread = estimate.value
+                        best_tags = tuple(tag_set)
                 continue
             if bound <= best_spread:
                 pruned += self._completions_below(partial, tags, query.k)
@@ -167,6 +214,7 @@ class BestEffortExplorer:
             # Expand: only append tags larger than the current maximum so every
             # subset is generated exactly once (canonical ascending order).
             minimum_next = partial[-1] + 1 if partial else tags[0]
+            children: List[Tuple[int, ...]] = []
             for tag in tags:
                 if tag < minimum_next:
                     continue
@@ -174,8 +222,14 @@ class BestEffortExplorer:
                 remaining_pool = sum(1 for t in tags if t > tag)
                 if remaining_pool < query.k - len(child):
                     continue  # not enough tags left to complete the set
-                child_bound, child_edges = self._upper_bound(query, child)
+                children.append(child)
+            # One batched bound evaluation for the whole expansion: a batched
+            # estimator shares one event store across every child's p+ world.
+            for child, (child_bound, child_edges, child_samples) in zip(
+                children, self._upper_bounds_many(query, children)
+            ):
                 edges_visited += child_edges
+                samples_drawn += child_samples
                 if child_bound > best_spread or best_spread <= 0.0:
                     heap.push(child_bound, child)
                 else:
@@ -190,6 +244,7 @@ class BestEffortExplorer:
             evaluated_tag_sets=evaluated,
             pruned_tag_sets=pruned,
             edges_visited=edges_visited,
+            samples_drawn=samples_drawn,
             elapsed_seconds=watch.elapsed,
             evaluations=evaluations,
         )

@@ -4,17 +4,19 @@ The engine owns a graph, a tag-topic model and the accuracy parameters, builds
 estimators / indexes on demand and answers PITEX queries with any of the
 methods compared in the paper's experiments:
 
-=============  ================================================================
-method         description
-=============  ================================================================
-``mc``         enumeration + Monte-Carlo sampling (Sec. 4)
-``rr``         enumeration + Reverse-Reachable sampling (Sec. 4)
-``lazy``       enumeration + lazy propagation sampling (Sec. 5.1)
-``tim``        enumeration + the tree-model baseline (Sec. 7.1)
-``indexest``   RR-Graph index matching, Algorithm 3 (Sec. 6.1)
-``indexest+``  RR-Graph index with edge-cut pruning (Sec. 6.2)
-``delaymat``   delayed materialization, Algorithm 4 (Sec. 6.3)
-=============  ================================================================
+================  =============================================================
+method            description
+================  =============================================================
+``mc``            enumeration + Monte-Carlo sampling (Sec. 4)
+``rr``            enumeration + Reverse-Reachable sampling (Sec. 4)
+``lazy``          enumeration + lazy propagation sampling (Sec. 5.1)
+``lazy-batched``  lazy propagation on the multi-instance event-queue kernel
+                  (always ``kernel="batched"``, regardless of engine kernel)
+``tim``           enumeration + the tree-model baseline (Sec. 7.1)
+``indexest``      RR-Graph index matching, Algorithm 3 (Sec. 6.1)
+``indexest+``     RR-Graph index with edge-cut pruning (Sec. 6.2)
+``delaymat``      delayed materialization, Algorithm 4 (Sec. 6.3)
+================  =============================================================
 
 All methods run under either exhaustive enumeration or best-effort exploration
 (the paper's experiments run every method on top of best-effort; see Sec. 7.3).
@@ -22,6 +24,7 @@ All methods run under either exhaustive enumeration or best-effort exploration
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.core.best_effort import BestEffortExplorer
@@ -38,10 +41,27 @@ from repro.sampling.lazy import LazyPropagationEstimator
 from repro.sampling.monte_carlo import MonteCarloEstimator
 from repro.sampling.reverse_reachable import ReverseReachableEstimator
 from repro.topics.model import TagTopicModel
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
-METHODS = ("mc", "rr", "lazy", "tim", "indexest", "indexest+", "delaymat")
+METHODS = ("mc", "rr", "lazy", "lazy-batched", "tim", "indexest", "indexest+", "delaymat")
 EXPLORATIONS = ("enumeration", "best-effort")
+KERNELS = ("batched", "csr", "dict")
+
+
+def resolved_kernel(method: str, kernel: str) -> str:
+    """The sampling kernel ``method`` actually runs on under engine ``kernel``.
+
+    The single source of truth for the method-to-kernel mapping, shared by
+    :meth:`PitexEngine.estimator` and the CLI's ``--json`` reporting:
+    ``lazy-batched`` always uses the batched event queue, while MC/RR only
+    know per-instance kernels and fall back to their (already
+    frontier-batched) CSR walkers under an engine-wide ``"batched"`` kernel.
+    """
+    if method == "lazy-batched":
+        return "batched"
+    if method in ("mc", "rr") and kernel == "batched":
+        return "csr"
+    return kernel
 
 
 class PitexEngine:
@@ -66,8 +86,13 @@ class PitexEngine:
         Seed controlling every random choice of the engine.
     kernel:
         ``"csr"`` (default) runs the sampling estimators on the vectorized
-        CSR kernels; ``"dict"`` selects the per-edge reference walkers, kept
-        for equivalence testing and for the CSR-vs-dict benchmarks.
+        CSR kernels; ``"batched"`` additionally runs lazy propagation on the
+        multi-instance event queue (MC/RR fall back to their CSR kernels,
+        which are already frontier-batched); ``"dict"`` selects the per-edge
+        reference walkers, kept for equivalence testing and for the
+        kernel-vs-kernel benchmarks.  The ``lazy-batched`` *method* always
+        uses the batched kernel so it can be compared against ``lazy`` on the
+        same engine.
     rr_index, delayed_index:
         Optional *prebuilt* offline indexes (typically loaded from a
         :class:`repro.serve.store.IndexStore`).  A supplied index must have
@@ -94,8 +119,8 @@ class PitexEngine:
             raise InvalidParameterError(
                 f"graph has {graph.num_topics} topics but the model has {model.num_topics}"
             )
-        if kernel not in ("csr", "dict"):
-            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose 'csr' or 'dict'")
+        if kernel not in KERNELS:
+            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
         self.kernel = kernel
         self.graph = graph
         self.model = model
@@ -107,6 +132,11 @@ class PitexEngine:
             max_samples=max_samples,
         )
         self._seed = spawn_rng(seed)
+        # One root draw, taken eagerly: every engine-owned stochastic
+        # component (estimators, offline indexes) derives its stream from this
+        # root and a stable label, so seeds do not depend on the *order* in
+        # which components are first used (and never on PYTHONHASHSEED).
+        self._stream_root = int(self._seed.generator.integers(0, 2**63 - 1))
         if index_samples is None:
             index_samples = self.budget.offline_samples(graph.num_vertices)
         self.index_samples = int(index_samples)
@@ -118,13 +148,18 @@ class PitexEngine:
         if delayed_index is not None:
             self.attach_delayed_index(delayed_index)
 
+    def _stream(self, label: str) -> RandomSource:
+        """A reproducible child stream for ``label`` (order-independent)."""
+        digest = zlib.crc32(label.encode("utf-8"))
+        return RandomSource((self._stream_root ^ (digest * 0x9E3779B97F4A7C15)) & (2**63 - 1))
+
     # ----------------------------------------------------------------- indexes
     @property
     def rr_index(self) -> RRGraphIndex:
         """The materialized RR-Graph index, built on first access."""
         if self._rr_index is None or not self._rr_index.is_built:
             self._rr_index = RRGraphIndex(
-                self.graph, self.index_samples, seed=self._seed.spawn(101)
+                self.graph, self.index_samples, seed=self._stream("rr-index")
             ).build()
         return self._rr_index
 
@@ -133,7 +168,7 @@ class PitexEngine:
         """The delayed-materialization index, built on first access."""
         if self._delayed_index is None or not self._delayed_index.is_built:
             self._delayed_index = DelayedMaterializationIndex(
-                self.graph, self.index_samples, seed=self._seed.spawn(202)
+                self.graph, self.index_samples, seed=self._stream("delayed-index")
             ).build()
         return self._delayed_index
 
@@ -201,18 +236,23 @@ class PitexEngine:
         cached = self._estimators.get(key)
         if cached is not None:
             return cached
-        seed = self._seed.spawn(hash(key) & 0xFFFF)
+        # A process-stable, creation-order-independent stream per estimator
+        # key.  The previous hash()-salted spawn was randomized per process
+        # (PYTHONHASHSEED) *and* shifted with the order estimators were first
+        # requested, silently making engine results non-reproducible.
+        seed = self._stream(repr(key))
+        kernel = resolved_kernel(method, self.kernel)
         if method == "mc":
             estimator: InfluenceEstimator = MonteCarloEstimator(
-                self.graph, self.model, budget, seed, kernel=self.kernel
+                self.graph, self.model, budget, seed, kernel=kernel
             )
         elif method == "rr":
             estimator = ReverseReachableEstimator(
-                self.graph, self.model, budget, seed, kernel=self.kernel
+                self.graph, self.model, budget, seed, kernel=kernel
             )
-        elif method == "lazy":
+        elif method in ("lazy", "lazy-batched"):
             estimator = LazyPropagationEstimator(
-                self.graph, self.model, budget, seed, kernel=self.kernel
+                self.graph, self.model, budget, seed, kernel=kernel
             )
         elif method == "tim":
             estimator = TreeModelEstimator(self.graph, self.model, budget)

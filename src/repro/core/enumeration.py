@@ -70,11 +70,13 @@ class EnumerationExplorer:
         best_spread = -1.0
         evaluated = 0
         edges_visited = 0
+        samples_drawn = 0
         evaluations: List[TagSetEvaluation] = []
         for tag_set in candidates:
             estimate = self.estimator.estimate(query.user, tag_set)
             evaluated += 1
             edges_visited += estimate.edges_visited
+            samples_drawn += estimate.num_samples
             evaluation = TagSetEvaluation(
                 tag_ids=tuple(tag_set),
                 spread=estimate.value,
@@ -96,6 +98,7 @@ class EnumerationExplorer:
             evaluated_tag_sets=evaluated,
             pruned_tag_sets=0,
             edges_visited=edges_visited,
+            samples_drawn=samples_drawn,
             elapsed_seconds=watch.elapsed,
             evaluations=evaluations,
         )

@@ -77,6 +77,10 @@ class PitexResult:
         Number of candidate tag sets eliminated without estimation.
     edges_visited:
         Total edge probes across the whole query.
+    samples_drawn:
+        Total sample instances drawn across the whole query (complete-set
+        estimations plus, for best-effort exploration, the sampled upper
+        bounds).
     elapsed_seconds:
         Wall-clock time of the query.
     evaluations:
@@ -92,6 +96,7 @@ class PitexResult:
     evaluated_tag_sets: int = 0
     pruned_tag_sets: int = 0
     edges_visited: int = 0
+    samples_drawn: int = 0
     elapsed_seconds: float = 0.0
     evaluations: List[TagSetEvaluation] = field(default_factory=list)
 

@@ -40,6 +40,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.heap import concat_ranges
+
 
 def slice_positions(indptr: np.ndarray, vertices: np.ndarray) -> np.ndarray:
     """Positions of every CSR slot owned by ``vertices``, concatenated.
@@ -47,17 +49,12 @@ def slice_positions(indptr: np.ndarray, vertices: np.ndarray) -> np.ndarray:
     For a frontier ``vertices`` this returns the indices into the CSR data
     arrays covering all of the frontier's edges, i.e. the vectorized
     equivalent of ``[slot for v in vertices for slot in range(indptr[v],
-    indptr[v + 1])]``, without a Python-level loop.
+    indptr[v + 1])]``, without a Python-level loop.  The concatenated-ranges
+    kernel itself is shared with the batched event queue
+    (:func:`repro.utils.heap.concat_ranges`).
     """
     starts = indptr[vertices]
-    counts = indptr[vertices + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    # Offset of each vertex's run inside the concatenated output.
-    run_starts = np.zeros(len(counts), dtype=np.int64)
-    np.cumsum(counts[:-1], out=run_starts[1:])
-    return np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts) + np.repeat(starts, counts)
+    return concat_ranges(starts, indptr[vertices + 1] - starts)
 
 
 @dataclass(frozen=True)

@@ -171,7 +171,11 @@ class InfluenceEstimate:
     reachable_size:
         ``|R_W(u)|`` when the estimator computed it, else 0.
     method:
-        Short name of the estimator ("mc", "rr", "lazy", "index", ...).
+        Short name of the estimator ("mc", "rr", "lazy", "lazy-batched",
+        "index", ...).
+    kernel:
+        The sampling kernel that produced the estimate ("batched", "csr",
+        "dict"), empty for estimators without a kernel choice.
     """
 
     value: float
@@ -179,6 +183,7 @@ class InfluenceEstimate:
     edges_visited: int = 0
     reachable_size: int = 0
     method: str = ""
+    kernel: str = ""
 
 
 class InfluenceEstimator(abc.ABC):
@@ -212,16 +217,44 @@ class InfluenceEstimator(abc.ABC):
         this common case -- the source of the best-effort pruning power on
         sparse tag-topic matrices -- is answered without sampling.
         """
-        posterior = self.model.topic_posterior(tag_set)
-        if not posterior.any():
-            return InfluenceEstimate(
-                value=1.0, num_samples=0, edges_visited=0, reachable_size=1, method=self.name
-            )
-        probabilities = self.graph.edge_probabilities_under(posterior)
-        estimate = self.estimate_with_probabilities(user, probabilities)
-        self.total_edges_visited += estimate.edges_visited
-        self.total_samples += estimate.num_samples
-        return estimate
+        return self.estimate_many(user, [tag_set])[0]
+
+    def estimate_many(self, user: int, tag_sets: Sequence[Iterable]) -> list:
+        """:meth:`estimate` for several tag sets of one user, batched.
+
+        Semantically a loop of :meth:`estimate` calls (identical sampling
+        order for the sequential kernels), but the per-row estimations flow
+        through :meth:`estimate_many_with_probabilities`, so a batched-kernel
+        estimator answers all tag sets from one shared event store.  The
+        best-effort explorer drains runs of complete tag sets through this
+        entry point.
+        """
+        results: list = [None] * len(tag_sets)
+        rows = []
+        slots = []
+        for slot, tag_set in enumerate(tag_sets):
+            posterior = self.model.topic_posterior(tag_set)
+            if not posterior.any():
+                results[slot] = InfluenceEstimate(
+                    value=1.0,
+                    num_samples=0,
+                    edges_visited=0,
+                    reachable_size=1,
+                    method=self.name,
+                    kernel=getattr(self, "kernel", ""),
+                )
+                continue
+            rows.append(self.graph.edge_probabilities_under(posterior))
+            slots.append(slot)
+        if rows:
+            estimates = self.estimate_many_with_probabilities(user, rows)
+            for slot, estimate in zip(slots, estimates):
+                if not estimate.kernel:
+                    estimate.kernel = getattr(self, "kernel", "")
+                self.total_edges_visited += estimate.edges_visited
+                self.total_samples += estimate.num_samples
+                results[slot] = estimate
+        return results
 
     @abc.abstractmethod
     def estimate_with_probabilities(
@@ -232,6 +265,25 @@ class InfluenceEstimator(abc.ABC):
         ``num_samples`` overrides the budget-derived sample count; the
         convergence experiment (Fig. 6) uses this to sweep ``theta_W``.
         """
+
+    def estimate_many_with_probabilities(
+        self,
+        user: int,
+        edge_probability_rows: Sequence[Sequence[float]],
+        num_samples: Optional[int] = None,
+    ) -> list:
+        """Estimate one user's spread under several probability assignments.
+
+        The default runs one independent estimation per row.  Estimators with
+        a batched kernel (:class:`repro.sampling.lazy.LazyPropagationEstimator`
+        with ``kernel="batched"``) override this to advance all rows through a
+        single shared event store; the best-effort explorer feeds the upper
+        bounds of every child of one expansion through this entry point.
+        """
+        return [
+            self.estimate_with_probabilities(user, row, num_samples)
+            for row in edge_probability_rows
+        ]
 
     def reset_counters(self) -> None:
         """Zero the cumulative edge / sample counters."""

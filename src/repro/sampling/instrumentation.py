@@ -68,12 +68,43 @@ class EstimatorInstrumentation:
         for estimate in estimates:
             self.record(estimate)
 
+    def record_query_result(self, method: str, edges_visited: int, num_samples: int = 0) -> None:
+        """Aggregate one full query's counters (e.g. from a ``PitexResult``).
+
+        Queries aggregate many per-tag-set estimations; this entry point lets
+        the CLI and the serving layer feed whole-query totals into the same
+        per-method table without importing the core result types.
+        """
+        method = method or "unknown"
+        self.edge_visits[method] = self.edge_visits.get(method, 0) + int(edges_visited)
+        self.sample_counts[method] = self.sample_counts.get(method, 0) + int(num_samples)
+        self.query_counts[method] = self.query_counts.get(method, 0) + 1
+
     def mean_edge_visits(self, method: str) -> float:
         """Average edge visits per query for ``method``."""
         queries = self.query_counts.get(method, 0)
         if queries == 0:
             return 0.0
         return self.edge_visits.get(method, 0) / float(queries)
+
+    def mean_samples(self, method: str) -> float:
+        """Average sample instances per query for ``method``."""
+        queries = self.query_counts.get(method, 0)
+        if queries == 0:
+            return 0.0
+        return self.sample_counts.get(method, 0) / float(queries)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready per-method counters (used by ``pitex query --json``)."""
+        return {
+            method: {
+                "edge_visits": self.edge_visits.get(method, 0),
+                "mean_edge_visits": self.mean_edge_visits(method),
+                "samples": self.sample_counts.get(method, 0),
+                "queries": self.query_counts.get(method, 0),
+            }
+            for method in self.methods()
+        }
 
     def methods(self) -> Sequence[str]:
         """All methods recorded so far."""

@@ -18,6 +18,21 @@ so the hot path is batched on top of the graph's CSR view: a vertex schedule
 is created from two array slices (edge ids, targets) plus one vectorized
 geometric draw for its whole out-neighbourhood, instead of one dict probe and
 one Python-level geometric call per edge.
+
+Three kernels are provided:
+
+* ``"batched"`` -- the array-backed multi-instance event queue
+  (:class:`~repro.utils.heap.BatchedEventQueue`): all ``theta_W`` instances of
+  one estimation advance frontier-at-a-time *simultaneously*, one numpy round
+  per BFS level across the whole instance batch, with rescheduling done as
+  batched geometric redraws.  The fastest kernel; also powers the best-effort
+  explorer's batched child-bound estimation
+  (:meth:`LazyPropagationEstimator.estimate_many_with_probabilities`).
+* ``"csr"`` -- per-instance BFS with vertex schedules built from CSR slices
+  and batched initial draws, but one Python ``LazyEdgeHeap.visit`` per
+  activation (the PR-2 kernel).
+* ``"dict"`` -- the per-edge reference walker (one dict probe and one scalar
+  geometric per edge), kept for equivalence testing.
 """
 
 from __future__ import annotations
@@ -37,9 +52,11 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
-from repro.utils.heap import LazyEdgeHeap
+from repro.utils.heap import BatchedEventQueue, LazyEdgeHeap
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 from repro.utils.stats import log_binomial
+
+LAZY_KERNELS = ("batched", "csr", "dict")
 
 
 class LazyPropagationEstimator(InfluenceEstimator):
@@ -58,12 +75,28 @@ class LazyPropagationEstimator(InfluenceEstimator):
         required probability (martingale stopping rule of Tang et al.), so the
         remaining instances can be skipped.
     kernel:
-        ``"csr"`` (default) builds vertex schedules and forward worlds on the
-        CSR arrays with batched draws; ``"dict"`` keeps the per-edge reference
-        path (dict adjacency probes, one scalar geometric per edge).
+        ``"batched"`` advances all sample instances of one estimation through
+        a single :class:`~repro.utils.heap.BatchedEventQueue` (the fastest
+        path); ``"csr"`` (default) builds per-vertex schedules on the CSR
+        arrays with batched draws but walks instances one at a time; ``"dict"``
+        keeps the per-edge reference path (dict adjacency probes, one scalar
+        geometric per edge).  All three draw from the same statistical process
+        (Lemma 6), so estimates agree in distribution but not per-seed.
+    batch_size:
+        Instances advanced together per chunk of the batched kernel.  Chunking
+        bounds the ``instances x vertices`` visited bitmap and gives the
+        early-stopping rule a checkpoint between chunks (the sequential
+        kernels check after every instance; every counted instance still runs
+        to completion, so the estimate stays unbiased either way).  ``None``
+        (default) sizes chunks adaptively so the bitmap stays around
+        :data:`VISITED_CELL_BUDGET` cells: small graphs batch the whole
+        ``theta_W`` at once, large graphs stay memory-bounded.
     """
 
     name = "lazy"
+
+    #: Cap (in bool cells) on the batched kernel's per-chunk visited bitmap.
+    VISITED_CELL_BUDGET = 32_000_000
 
     def __init__(
         self,
@@ -73,13 +106,26 @@ class LazyPropagationEstimator(InfluenceEstimator):
         seed: SeedLike = None,
         early_stopping: bool = True,
         kernel: str = "csr",
+        batch_size: Optional[int] = None,
     ) -> None:
         super().__init__(graph, model, budget)
-        if kernel not in ("csr", "dict"):
-            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose from ('csr', 'dict')")
+        if kernel not in LAZY_KERNELS:
+            raise InvalidParameterError(f"unknown kernel {kernel!r}; choose from {LAZY_KERNELS}")
         self._rng = spawn_rng(seed)
         self.early_stopping = early_stopping
         self.kernel = kernel
+        self.batch_size = max(1, int(batch_size)) if batch_size is not None else None
+        if kernel == "batched":
+            # Distinct method label so Fig. 13-style instrumentation and the
+            # engine can track the batched series next to the csr/dict lazy one.
+            self.name = "lazy-batched"
+
+    def _chunk_size(self, instance_rows: int = 1) -> int:
+        """Instances advanced per chunk (per parallel row of instances)."""
+        if self.batch_size is not None:
+            return self.batch_size
+        cells = max(1, self.graph.num_vertices * max(1, instance_rows))
+        return max(64, self.VISITED_CELL_BUDGET // cells)
 
     # ------------------------------------------------------------------ core
     def _stop_threshold(self) -> float:
@@ -131,6 +177,197 @@ class LazyPropagationEstimator(InfluenceEstimator):
             return len(reachable_with_probabilities(self.graph, user, probabilities, kernel="dict"))
         return int(reachable_mask(self.graph, user, probabilities).sum())
 
+    def _reachable_sizes_batched(self, user: int, rows: np.ndarray) -> np.ndarray:
+        """``|R_W(u)|`` for every probability row, multi-world BFS.
+
+        The frontier lives in the flattened ``world * V + vertex`` key space,
+        so one round expands every world's frontier with the same handful of
+        numpy gathers instead of one :func:`reachable_mask` walk per world.
+        Worlds are processed in chunks so the bitmap honours the same
+        :data:`VISITED_CELL_BUDGET` the instance batching does.
+        """
+        num_worlds = rows.shape[0]
+        worlds_per_chunk = max(1, self.VISITED_CELL_BUDGET // max(1, self.graph.num_vertices))
+        if num_worlds > worlds_per_chunk:
+            return np.concatenate(
+                [
+                    self._reachable_sizes_batched(user, rows[start : start + worlds_per_chunk])
+                    for start in range(0, num_worlds, worlds_per_chunk)
+                ]
+            )
+        csr = self.graph.csr
+        num_vertices = self.graph.num_vertices
+        visited = np.zeros(num_worlds * num_vertices, dtype=bool)
+        frontier_worlds = np.arange(num_worlds, dtype=np.int64)
+        frontier_vertices = np.full(num_worlds, user, dtype=np.int64)
+        visited[frontier_worlds * num_vertices + user] = True
+        while frontier_vertices.size:
+            positions = csr.out_positions(frontier_vertices)
+            if not positions.size:
+                break
+            counts = csr.out_indptr[frontier_vertices + 1] - csr.out_indptr[frontier_vertices]
+            owner_world = np.repeat(frontier_worlds, counts)
+            allowed = rows[owner_world, csr.out_edge_ids[positions]] > 0.0
+            keys = (
+                owner_world[allowed] * num_vertices + csr.out_targets[positions][allowed]
+            )
+            keys = np.unique(keys[~visited[keys]])
+            if not keys.size:
+                break
+            visited[keys] = True
+            frontier_worlds = keys // num_vertices
+            frontier_vertices = keys - frontier_worlds * num_vertices
+        return visited.reshape(num_worlds, num_vertices).sum(axis=1)
+
+    # ------------------------------------------------------------ batched core
+    def _make_queue(self, world_probabilities: np.ndarray) -> BatchedEventQueue:
+        """One event queue over the graph's CSR arrays, one row per world."""
+        csr = self.graph.csr
+        return BatchedEventQueue(
+            csr.out_indptr, csr.out_targets, csr.out_edge_ids, world_probabilities, self._rng
+        )
+
+    def _run_batched_chunk(
+        self,
+        queue: BatchedEventQueue,
+        user: int,
+        sizes: np.ndarray,
+        worlds: np.ndarray,
+    ) -> np.ndarray:
+        """Run ``sizes[i]`` fresh instances of ``worlds[i]`` to completion.
+
+        All instances advance together, one :meth:`BatchedEventQueue.advance`
+        call per BFS level of the whole batch.  Returns per-world activation
+        counts (indexed by world id, zeros for worlds not in ``worlds``);
+        schedules persist on ``queue`` across chunks exactly like the shared
+        :class:`LazyEdgeHeap` schedules of the sequential kernels.
+        """
+        num_vertices = self.graph.num_vertices
+        worlds = np.asarray(worlds, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        num_rows = int(sizes.sum())
+        world_of_row = np.repeat(worlds, sizes)
+        single_world = queue.num_worlds == 1
+        # Flat (instance-row x vertex) visited bitmap, indexed by row*V + vertex.
+        visited = np.zeros(num_rows * num_vertices, dtype=bool)
+        rows = np.arange(num_rows, dtype=np.int64)
+        vertices = np.full(num_rows, user, dtype=np.int64)
+        visited[rows * num_vertices + user] = True
+        activations = np.zeros(queue.num_worlds, dtype=np.int64)
+        while rows.size:
+            if single_world:
+                activations[0] += rows.size
+            else:
+                activations += np.bincount(world_of_row[rows], minlength=queue.num_worlds)
+            fired_rows, fired_targets = queue.advance(world_of_row[rows], rows, vertices)
+            if not fired_rows.size:
+                break
+            keys = fired_rows * num_vertices + fired_targets
+            # Distinct edges can fire into the same (instance, target) pair in
+            # one round; dedupe on the flattened pair key (sorted, so the next
+            # round's frontier order is deterministic).
+            keys = np.unique(keys[~visited[keys]])
+            visited[keys] = True
+            rows = keys // num_vertices
+            vertices = keys - rows * num_vertices
+        return activations
+
+    def _estimate_batched(
+        self, user: int, probabilities: np.ndarray, num_samples: Optional[int]
+    ) -> InfluenceEstimate:
+        """``estimate_with_probabilities`` on the multi-instance event queue.
+
+        One estimation is the one-world case of the multi-world path, so the
+        chunking / early-stopping policy lives in exactly one place.
+        """
+        return self.estimate_many_with_probabilities(user, probabilities[None, :], num_samples)[0]
+
+    def estimate_many_with_probabilities(
+        self,
+        user: int,
+        edge_probability_rows: Sequence[Sequence[float]],
+        num_samples: Optional[int] = None,
+    ) -> list:
+        """Estimate one user's spread under several probability assignments.
+
+        On the batched kernel every row becomes one *world* of a single shared
+        :class:`~repro.utils.heap.BatchedEventQueue`, so the whole candidate
+        batch advances through one frontier loop (the best-effort explorer uses
+        this for the upper bounds of all children of one expansion); other
+        kernels fall back to one independent estimation per row.
+        """
+        rows = np.atleast_2d(np.asarray(edge_probability_rows, dtype=float))
+        if self.kernel != "batched":
+            return super().estimate_many_with_probabilities(user, rows, num_samples)
+        num_worlds = rows.shape[0]
+        reachable = self._reachable_sizes_batched(user, rows)
+        budgets = np.array(
+            [
+                num_samples if num_samples is not None else self.budget.online_samples(int(size))
+                for size in reachable
+            ],
+            dtype=np.int64,
+        )
+        stop_threshold = self._stop_threshold() if self.early_stopping else math.inf
+        queue = self._make_queue(rows)
+        total_activations = np.zeros(num_worlds, dtype=np.int64)
+        instances_run = np.zeros(num_worlds, dtype=np.int64)
+        remaining = budgets.copy()
+        remaining[reachable == 1] = 0  # spread is exactly 1, no sampling needed
+        while True:
+            active = np.flatnonzero(remaining > 0)
+            if not active.size:
+                break
+            chunk_cap = self._chunk_size(len(active))
+            if self.early_stopping:
+                # Rate-adapted per-world chunks (see _estimate_batched): first
+                # round probes with a small chunk, later rounds aim just past
+                # each world's projected stopping point.
+                rates = np.maximum(
+                    total_activations[active]
+                    / np.maximum(instances_run[active], 1).astype(float),
+                    1.0,
+                )
+                needed = (stop_threshold - total_activations[active]) / rates
+                sizes = np.where(
+                    instances_run[active] > 0,
+                    np.minimum(chunk_cap, np.maximum(8, (needed * 1.25).astype(np.int64) + 1)),
+                    min(chunk_cap, 64),
+                )
+            else:
+                sizes = np.full(len(active), chunk_cap, dtype=np.int64)
+            sizes = np.minimum(sizes, remaining[active])
+            counts = self._run_batched_chunk(queue, user, sizes, active)
+            total_activations[active] += counts[active]
+            instances_run[active] += sizes
+            remaining[active] -= sizes
+            remaining[total_activations >= stop_threshold] = 0
+        estimates = []
+        for world in range(num_worlds):
+            if reachable[world] == 1:
+                estimates.append(
+                    InfluenceEstimate(
+                        value=1.0,
+                        num_samples=0,
+                        edges_visited=0,
+                        reachable_size=1,
+                        method=self.name,
+                        kernel=self.kernel,
+                    )
+                )
+                continue
+            estimates.append(
+                InfluenceEstimate(
+                    value=float(total_activations[world]) / float(instances_run[world]),
+                    num_samples=int(instances_run[world]),
+                    edges_visited=queue.edge_visits(world),
+                    reachable_size=int(reachable[world]),
+                    method=self.name,
+                    kernel=self.kernel,
+                )
+            )
+        return estimates
+
     def estimate_with_probabilities(
         self,
         user: int,
@@ -139,6 +376,8 @@ class LazyPropagationEstimator(InfluenceEstimator):
     ) -> InfluenceEstimate:
         """Run ``theta_W`` lazy sample instances (possibly fewer with early stopping)."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
+        if self.kernel == "batched":
+            return self._estimate_batched(user, probabilities, num_samples)
         reachable_size = self._reachable_size(user, probabilities)
         if num_samples is None:
             num_samples = self.budget.online_samples(reachable_size)
@@ -149,6 +388,7 @@ class LazyPropagationEstimator(InfluenceEstimator):
                 edges_visited=0,
                 reachable_size=1,
                 method=self.name,
+                kernel=self.kernel,
             )
 
         schedules: Dict[int, LazyEdgeHeap] = {}
@@ -185,6 +425,7 @@ class LazyPropagationEstimator(InfluenceEstimator):
             edges_visited=edges_visited,
             reachable_size=reachable_size,
             method=self.name,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------ convergence
@@ -196,6 +437,22 @@ class LazyPropagationEstimator(InfluenceEstimator):
     ) -> list:
         """Estimate values at increasing sample counts (Fig. 6 convergence sweep)."""
         probabilities = np.asarray(edge_probabilities, dtype=float)
+        if self.kernel == "batched":
+            queue = self._make_queue(probabilities[None, :])
+            results = []
+            total_activations = 0
+            drawn = 0
+            chunk = self._chunk_size()
+            for checkpoint in checkpoints:
+                while drawn < checkpoint:
+                    size = min(chunk, checkpoint - drawn)
+                    counts = self._run_batched_chunk(
+                        queue, user, np.array([size]), np.array([0])
+                    )
+                    total_activations += int(counts[0])
+                    drawn += size
+                results.append(total_activations / float(drawn))
+            return results
         schedules: Dict[int, LazyEdgeHeap] = {}
         results = []
         total_activations = 0

@@ -14,7 +14,7 @@ The utilities are intentionally small and dependency free (only ``numpy``):
 """
 
 from repro.utils.rng import RandomSource, spawn_rng
-from repro.utils.heap import MinHeap, MaxHeap, LazyEdgeHeap
+from repro.utils.heap import BatchedEventQueue, MinHeap, MaxHeap, LazyEdgeHeap
 from repro.utils.timer import Stopwatch, Counter, TimingRecord
 from repro.utils.stats import (
     LatencyAccumulator,
@@ -38,6 +38,7 @@ __all__ = [
     "MinHeap",
     "MaxHeap",
     "LazyEdgeHeap",
+    "BatchedEventQueue",
     "Stopwatch",
     "Counter",
     "TimingRecord",

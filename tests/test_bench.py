@@ -86,6 +86,7 @@ def test_experiment_registry_covers_all_tables_and_figures():
         "table2",
         "table3",
         "table4",
+        "lazykernels",
         "fig6",
         "fig7",
         "fig8",

@@ -92,6 +92,36 @@ def test_cli_query_json_output_is_parseable(capsys):
     result = document["results"][0]
     assert len(result["tag_ids"]) == 2
     assert result["spread"] >= 1.0
+    # Per-method edge-visit counters (Fig. 13 instrumentation) ride along.
+    counters = document["counters"]
+    (method_key,) = counters.keys()
+    assert "lazy" in method_key
+    assert counters[method_key]["queries"] == 1
+    assert counters[method_key]["edge_visits"] == result["edges_visited"]
+    assert counters[method_key]["samples"] == result["samples_drawn"] > 0
+
+
+def test_cli_query_batched_kernel_and_method(capsys):
+    import json
+
+    exit_code = main(QUERY_SMOKE_ARGS + ["--kernel", "batched", "--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    assert document["kernel"] == "batched"
+    assert document["results"][0]["spread"] >= 1.0
+
+    args = [a if a != "lazy" else "lazy-batched" for a in QUERY_SMOKE_ARGS]
+    exit_code = main(args + ["--json"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    document = json.loads(captured.out)
+    # The lazy-batched method always reports the batched kernel, whatever the
+    # engine-wide --kernel flag says.
+    assert document["method"] == "lazy-batched"
+    assert document["kernel"] == "batched"
+    counters = document["counters"]
+    assert any("lazy-batched" in key for key in counters)
 
 
 def test_cli_query_rejects_unknown_kernel():

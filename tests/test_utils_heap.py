@@ -1,8 +1,23 @@
 """Tests for repro.utils.heap."""
 
+import numpy as np
 
-from repro.utils.heap import LazyEdgeHeap, MaxHeap, MinHeap
+from repro.utils.heap import BatchedEventQueue, LazyEdgeHeap, MaxHeap, MinHeap, concat_ranges
 from repro.utils.rng import RandomSource
+
+
+def make_queue(out_indptr, out_targets, world_probabilities, seed=1):
+    """A queue over explicit CSR arrays with edge ids 0..E-1 in slot order."""
+    out_indptr = np.asarray(out_indptr, dtype=np.int64)
+    out_targets = np.asarray(out_targets, dtype=np.int64)
+    edge_ids = np.arange(len(out_targets), dtype=np.int64)
+    return BatchedEventQueue(
+        out_indptr,
+        out_targets,
+        edge_ids,
+        np.asarray(world_probabilities, dtype=float),
+        RandomSource(seed),
+    )
 
 
 def test_min_heap_orders_by_priority():
@@ -38,6 +53,34 @@ def test_max_heap_orders_descending():
     assert heap.pop()[0] == 5.0
     assert heap.peek()[0] == 3.0
     assert len(heap) == 2
+
+
+def test_min_heap_iteration_yields_priority_order_without_mutation():
+    heap = MinHeap()
+    for priority, item in ((4.0, "d"), (1.0, "a"), (3.0, "c"), (2.0, "b")):
+        heap.push(priority, item)
+    # Iteration is sorted by priority, not the internal heapq array layout.
+    assert list(heap) == [(1.0, "a"), (2.0, "b"), (3.0, "c"), (4.0, "d")]
+    # Iterating twice gives the same answer: the heap itself is untouched.
+    assert list(heap) == [(1.0, "a"), (2.0, "b"), (3.0, "c"), (4.0, "d")]
+    assert len(heap) == 4
+    assert heap.pop() == (1.0, "a")
+
+
+def test_min_heap_iteration_ties_resolve_by_insertion_without_comparing_items():
+    heap = MinHeap()
+    first, second = {"x": 1}, {"y": 2}  # dicts are not orderable
+    heap.push(1.0, first)
+    heap.push(1.0, second)
+    assert [item for _, item in heap] == [first, second]
+
+
+def test_max_heap_iteration_yields_descending_priority():
+    heap = MaxHeap()
+    for priority in (1.0, 5.0, 3.0):
+        heap.push(priority, priority)
+    assert [priority for priority, _ in heap] == [5.0, 3.0, 1.0]
+    assert len(heap) == 3
 
 
 def test_lazy_edge_heap_drops_zero_probability_edges():
@@ -78,3 +121,104 @@ def test_lazy_edge_heap_multiple_edges_independent_rates():
             counts[neighbor] += 1
     assert abs(counts[0] / 10000 - 0.5) < 0.03
     assert abs(counts[1] / 10000 - 0.1) < 0.02
+
+
+# --------------------------------------------------------- BatchedEventQueue
+
+
+def test_concat_ranges_matches_python_ranges():
+    starts = np.array([5, 0, 9], dtype=np.int64)
+    counts = np.array([2, 0, 3], dtype=np.int64)
+    expected = [5, 6, 9, 10, 11]
+    assert concat_ranges(starts, counts).tolist() == expected
+    assert concat_ranges(np.empty(0, np.int64), np.empty(0, np.int64)).tolist() == []
+
+
+def test_batched_queue_drops_zero_probability_edges():
+    # Vertex 0 has three out-edges; the middle one has probability zero.
+    queue = make_queue([0, 3, 3, 3, 3], [1, 2, 3], [[0.5, 0.0, 0.3]])
+    queue.advance(np.zeros(1, np.int64), np.zeros(1, np.int64), np.zeros(1, np.int64))
+    assert queue.pending(0, 0) == 2
+    assert int(queue.scheduled_events[0]) == 2
+    fires = queue.next_fires(0, 0)
+    assert np.all(fires >= 1)
+
+
+def test_batched_queue_probability_one_fires_for_every_instance():
+    queue = make_queue([0, 1, 1], [1], [[1.0]])
+    for round_index in range(3):
+        instances = np.arange(4, dtype=np.int64) + 10 * round_index
+        fired_instances, fired_targets = queue.advance(
+            np.zeros(4, np.int64), instances, np.zeros(4, np.int64)
+        )
+        # Every instance's visit fires the edge, attributed in ascending order.
+        assert fired_instances.tolist() == sorted(instances.tolist())
+        assert fired_targets.tolist() == [1, 1, 1, 1]
+    assert queue.visit_count(0, 0) == 12
+    assert int(queue.fired_events[0]) == 12
+    assert queue.edge_visits() == 1 + 12  # one scheduled event + twelve fires
+
+
+def test_batched_queue_worlds_are_isolated():
+    # World 0 never fires, world 1 always fires.
+    queue = make_queue([0, 1, 1], [1], [[0.0], [1.0]])
+    worlds = np.array([0, 0, 1, 1], dtype=np.int64)
+    instances = np.array([0, 1, 0, 1], dtype=np.int64)
+    vertices = np.zeros(4, dtype=np.int64)
+    fired_instances, fired_targets = queue.advance(worlds, instances, vertices)
+    assert fired_instances.tolist() == [0, 1]
+    assert fired_targets.tolist() == [1, 1]
+    assert queue.pending(0, 0) == 0  # zero-probability edge never scheduled
+    assert queue.pending(1, 0) == 1
+    assert queue.edge_visits(0) == 0
+    assert queue.edge_visits(1) == 1 + 2
+    assert queue.visit_count(0, 0) == 2 and queue.visit_count(1, 0) == 2
+
+
+def test_batched_queue_fire_rate_matches_probability():
+    probability = 0.25
+    queue = make_queue([0, 1, 1], [1], [[probability]], seed=3)
+    visits = 20000
+    fires = 0
+    chunk = 50
+    for round_index in range(visits // chunk):
+        fired, _ = queue.advance(
+            np.zeros(chunk, np.int64),
+            np.arange(chunk, dtype=np.int64),
+            np.zeros(chunk, np.int64),
+        )
+        fires += fired.size
+    assert abs(fires / visits - probability) < 0.02
+
+
+def test_batched_queue_next_fires_stay_ahead_of_visits():
+    queue = make_queue([0, 2, 2, 2], [1, 2], [[0.4, 0.7]], seed=9)
+    for _ in range(20):
+        queue.advance(np.zeros(3, np.int64), np.arange(3, dtype=np.int64), np.zeros(3, np.int64))
+        # After a round every scheduled fire lies strictly beyond the visits
+        # consumed so far (fires inside the window were resolved and re-drawn).
+        assert np.all(queue.next_fires(0, 0) > queue.visit_count(0, 0))
+
+
+def test_batched_queue_is_deterministic_per_seed():
+    outcomes = []
+    for _ in range(2):
+        queue = make_queue([0, 2, 2, 2], [1, 2], [[0.3, 0.6]], seed=17)
+        trace = []
+        for _ in range(5):
+            fired_instances, fired_targets = queue.advance(
+                np.zeros(6, np.int64), np.arange(6, dtype=np.int64), np.zeros(6, np.int64)
+            )
+            trace.append((fired_instances.tolist(), fired_targets.tolist()))
+        outcomes.append(trace)
+    assert outcomes[0] == outcomes[1]
+
+
+def test_batched_queue_empty_round_is_a_noop():
+    queue = make_queue([0, 1, 1], [1], [[0.5]])
+    fired_instances, fired_targets = queue.advance(
+        np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64)
+    )
+    assert fired_instances.size == 0 and fired_targets.size == 0
+    assert queue.visit_count(0, 0) == 0
+    assert queue.pending(0, 0) == 0  # untouched vertices are never scheduled
