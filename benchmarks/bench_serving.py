@@ -1,12 +1,19 @@
 """Serving-layer benchmark: persistent index store + concurrent workload replay.
 
-Two shape assertions back the serving subsystem (``repro.serve``):
+Three shape assertions back the serving subsystem (``repro.serve``):
 
 * loading a persisted RR-Graph index from the :class:`IndexStore` is at least
   5x faster than rebuilding it from scratch (the offline/online split of
   Sec. 6 carried across process boundaries), with bitwise-equal estimates;
 * a cold engine warm-started from the store answers a 50-query seeded replay
-  through :class:`PitexService` with zero failures, reporting p50/p95/p99.
+  through :class:`PitexService` with zero failures, reporting p50/p95/p99;
+* the ``--workers`` axis: replaying the same stream against one *frozen*
+  engine with ``--workers N`` (default 4) vs 1 worker returns bitwise
+  identical answers, and -- on hosts with enough cores to make thread
+  parallelism physically possible -- at least
+  :data:`MIN_PARALLEL_SPEEDUP` x the single-worker throughput.  On smaller
+  hosts the measured speedup is still recorded in the JSON artifact, but the
+  throughput gate is skipped (a 1-core container cannot speed anything up).
 
 The latency/throughput report is also written as JSON -- to the path in the
 ``PITEX_SERVING_REPORT`` environment variable (default
@@ -32,6 +39,12 @@ REPLAY_QUERIES = 50
 INDEX_SAMPLES = 800
 NUM_TAGS = 25  # trimmed vocabulary keeps per-query exploration in the tens of ms
 MIN_LOAD_SPEEDUP = 5.0
+# Overridable without a code change (set to 0 to disable the gate on hosts
+# where the GIL-bound fraction of the index matching dominates): thread
+# scaling of the frozen path depends on how much of the per-query work runs
+# inside GIL-releasing numpy kernels, which varies with dataset scale.
+MIN_PARALLEL_SPEEDUP = float(os.environ.get("PITEX_MIN_PARALLEL_SPEEDUP", "2.0"))
+MIN_CORES_FOR_SPEEDUP_GATE = 4
 
 
 @pytest.fixture(scope="module")
@@ -132,6 +145,83 @@ def test_cold_replay_with_persisted_index(
     document = report.to_json()
     document["offline_seconds"] = offline_seconds
     report_payload["replay"] = document
+
+
+def test_frozen_worker_sweep_is_bitwise_equal_and_scales(
+    request, serving_dataset, serving_store, report_payload, harness
+):
+    """The ``--workers`` axis: frozen lock-free replay, 1 worker vs N workers.
+
+    Bitwise equality between the two legs always holds (the frozen engine's
+    stateless per-query RNG derivation makes answers independent of worker
+    interleaving); the >= :data:`MIN_PARALLEL_SPEEDUP` x throughput gate is
+    enforced only where thread parallelism is physically possible.
+    """
+    workers = max(2, int(request.config.getoption("--workers")))
+    graph, model = serving_dataset.graph, serving_dataset.model
+    loaded, _, _ = serving_store.load_or_build_rr(
+        graph, model, INDEX_SAMPLES, seed=harness_seed(serving_dataset)
+    )
+    engine = PitexEngine(
+        graph,
+        model,
+        max_samples=harness.config.max_samples,
+        index_samples=INDEX_SAMPLES,
+        default_k=2,
+        seed=harness.config.seed,
+        rr_index=loaded,
+    ).freeze(methods=["indexest+"])
+    stream = serving_dataset.query_workload.query_stream(
+        REPLAY_QUERIES, seed=harness.config.seed
+    )
+
+    reports = {}
+    for pool_size in (1, workers):
+        with PitexService.for_engine(engine, num_workers=pool_size, max_batch=4) as service:
+            reports[pool_size] = replay_stream(service, stream, method="indexest+", k=2)
+
+    for report in reports.values():
+        assert report.failures == 0
+        assert report.mode == "frozen-parallel"
+    answers = {
+        pool_size: [
+            (resp.request.user, resp.result.tag_ids, resp.result.spread)
+            for resp in report.responses
+        ]
+        for pool_size, report in reports.items()
+    }
+    assert answers[1] == answers[workers], (
+        "concurrent frozen replay diverged from the single-worker oracle"
+    )
+    assert not engine.freeze_guard.violations
+
+    speedup = reports[workers].throughput_qps / reports[1].throughput_qps
+    print(
+        f"\nfrozen replay: {reports[1].throughput_qps:.1f} qps @1 worker vs "
+        f"{reports[workers].throughput_qps:.1f} qps @{workers} workers "
+        f"({speedup:.2f}x, {os.cpu_count()} cores)"
+    )
+    report_payload["worker_sweep"] = {
+        "method": "indexest+",
+        "num_queries": REPLAY_QUERIES,
+        "cores": os.cpu_count(),
+        "workers": workers,
+        "throughput_1": reports[1].throughput_qps,
+        f"throughput_{workers}": reports[workers].throughput_qps,
+        "speedup": speedup,
+        "bitwise_equal": True,
+    }
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_SPEEDUP_GATE or MIN_PARALLEL_SPEEDUP <= 0:
+        pytest.skip(
+            f"speedup gate needs >= {MIN_CORES_FOR_SPEEDUP_GATE} cores and a positive "
+            f"PITEX_MIN_PARALLEL_SPEEDUP (host has {cores} cores, gate "
+            f"{MIN_PARALLEL_SPEEDUP}); measured {speedup:.2f}x recorded in the artifact"
+        )
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"{workers}-worker frozen replay reached only {speedup:.2f}x over one worker "
+        f"(gate: >= {MIN_PARALLEL_SPEEDUP}x on the index-backed methods)"
+    )
 
 
 def harness_seed(dataset) -> int:

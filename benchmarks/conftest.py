@@ -34,6 +34,14 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="force the tiny smoke preset regardless of PITEX_BENCH_PRESET",
     )
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=4,
+        help="worker-pool size of the parallel leg of bench_serving's "
+        "frozen-engine worker sweep (the serial leg always uses 1)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -105,6 +105,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="index store directory for the warm start (omit to build in-process)")
     replay.add_argument("--workers", type=int, default=2)
     replay.add_argument("--max-batch", type=int, default=8)
+    replay.add_argument(
+        "--freeze",
+        action="store_true",
+        help="freeze the engine (read-only) before serving so requests fan "
+             "across all workers concurrently instead of serializing behind "
+             "the per-engine lock",
+    )
     replay.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
     return parser
 
@@ -250,6 +257,10 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
         rr_index=rr_index,
         delayed_index=delayed_index,
     )
+    if args.freeze:
+        # Warm only the served method; the report's "mode" field records that
+        # the run executed on the lock-free frozen path.
+        engine.freeze(methods=[args.method], ks=[args.k])
     stream_seed = args.stream_seed if args.stream_seed is not None else args.seed
     stream = dataset.query_workload.query_stream(args.num_queries, seed=stream_seed)
     with PitexService.for_engine(engine, num_workers=args.workers, max_batch=args.max_batch) as service:

@@ -20,10 +20,27 @@ method            description
 
 All methods run under either exhaustive enumeration or best-effort exploration
 (the paper's experiments run every method on top of best-effort; see Sec. 7.3).
+
+Engine lifecycle
+----------------
+An engine starts *warm-up mutable*: indexes build lazily, estimators are
+created and cached on first use, and every estimator draws from a shared
+per-engine RNG stream -- which is why the serving layer historically
+serialized all queries against one engine.  :meth:`PitexEngine.freeze` ends
+that phase: it warms every configured method (offline indexes, estimator
+cache, graph/model caches) and flips the engine read-only.  From then on
+``query`` touches no shared mutable state -- each query runs on a fresh,
+query-local estimator whose RNG root is derived *statelessly* from
+``(engine seed, query fingerprint)``, so answers are bitwise independent of
+arrival order and thread interleaving -- and a shared
+:class:`~repro.utils.freeze.FrozenGuard` raises on any attempt to mutate the
+graph, the indexes or the warmed estimators.  ``thaw`` returns the engine to
+the mutable phase.
 """
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -31,7 +48,7 @@ from repro.core.best_effort import BestEffortExplorer
 from repro.core.enumeration import EnumerationExplorer
 from repro.core.query import PitexQuery, PitexResult
 from repro.core.tim import TreeModelEstimator
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import EngineFrozenError, InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph
 from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
 from repro.index.pruning import PrunedIndexEstimator
@@ -41,6 +58,7 @@ from repro.sampling.lazy import LazyPropagationEstimator
 from repro.sampling.monte_carlo import MonteCarloEstimator
 from repro.sampling.reverse_reachable import ReverseReachableEstimator
 from repro.topics.model import TagTopicModel
+from repro.utils.freeze import FrozenGuard, attach_freeze_guard, detach_freeze_guard
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 
 METHODS = ("mc", "rr", "lazy", "lazy-batched", "tim", "indexest", "indexest+", "delaymat")
@@ -143,6 +161,11 @@ class PitexEngine:
         self._rr_index: Optional[RRGraphIndex] = None
         self._delayed_index: Optional[DelayedMaterializationIndex] = None
         self._estimators: Dict[Tuple[str, float, float, int], InfluenceEstimator] = {}
+        self._frozen = False
+        self._frozen_methods: Tuple[str, ...] = ()
+        self._frozen_ks: Tuple[int, ...] = ()
+        self._guard = FrozenGuard(owner=f"PitexEngine@{id(self):x}")
+        self._guarded_objects: list = []
         if rr_index is not None:
             self.attach_rr_index(rr_index)
         if delayed_index is not None:
@@ -158,6 +181,7 @@ class PitexEngine:
     def rr_index(self) -> RRGraphIndex:
         """The materialized RR-Graph index, built on first access."""
         if self._rr_index is None or not self._rr_index.is_built:
+            self._guard.check("build the RR-Graph index after freeze()")
             self._rr_index = RRGraphIndex(
                 self.graph, self.index_samples, seed=self._stream("rr-index")
             ).build()
@@ -167,6 +191,7 @@ class PitexEngine:
     def delayed_index(self) -> DelayedMaterializationIndex:
         """The delayed-materialization index, built on first access."""
         if self._delayed_index is None or not self._delayed_index.is_built:
+            self._guard.check("build the delayed-materialization index after freeze()")
             self._delayed_index = DelayedMaterializationIndex(
                 self.graph, self.index_samples, seed=self._stream("delayed-index")
             ).build()
@@ -183,12 +208,14 @@ class PitexEngine:
         Any estimators built against the previous index are dropped so later
         queries cannot silently keep answering from the replaced snapshot.
         """
+        self._guard.check("attach an RR-Graph index after freeze()")
         self._check_prebuilt(index, "rr_index")
         self._rr_index = index
         self._drop_index_estimators()
 
     def attach_delayed_index(self, index: DelayedMaterializationIndex) -> None:
         """Adopt a prebuilt delayed-materialization index."""
+        self._guard.check("attach a delayed-materialization index after freeze()")
         self._check_prebuilt(index, "delayed_index")
         self._delayed_index = index
         self._drop_index_estimators()
@@ -236,36 +263,252 @@ class PitexEngine:
         cached = self._estimators.get(key)
         if cached is not None:
             return cached
+        self._guard.check(
+            f"cache a new estimator for {key!r} after freeze(); warm the method/k "
+            "via freeze(methods=..., ks=...), or serve accuracy overrides through "
+            "query()/estimate_influence() (the frozen path handles them statelessly)"
+        )
         # A process-stable, creation-order-independent stream per estimator
         # key.  The previous hash()-salted spawn was randomized per process
         # (PYTHONHASHSEED) *and* shifted with the order estimators were first
         # requested, silently making engine results non-reproducible.
-        seed = self._stream(repr(key))
-        kernel = resolved_kernel(method, self.kernel)
-        if method == "mc":
-            estimator: InfluenceEstimator = MonteCarloEstimator(
-                self.graph, self.model, budget, seed, kernel=kernel
-            )
-        elif method == "rr":
-            estimator = ReverseReachableEstimator(
-                self.graph, self.model, budget, seed, kernel=kernel
-            )
-        elif method in ("lazy", "lazy-batched"):
-            estimator = LazyPropagationEstimator(
-                self.graph, self.model, budget, seed, kernel=kernel
-            )
-        elif method == "tim":
-            estimator = TreeModelEstimator(self.graph, self.model, budget)
-        elif method == "indexest":
-            estimator = IndexEstimator(self.graph, self.model, self.rr_index, budget)
-        elif method == "indexest+":
-            estimator = PrunedIndexEstimator(self.graph, self.model, self.rr_index, budget)
-        else:  # delaymat
-            estimator = DelayedIndexEstimator(
-                self.graph, self.model, self.delayed_index, budget, seed=seed
-            )
+        estimator = self._build_estimator(method, budget, self._stream(repr(key)))
         self._estimators[key] = estimator
         return estimator
+
+    def _build_estimator(
+        self, method: str, budget: SampleBudget, seed: RandomSource
+    ) -> InfluenceEstimator:
+        """Construct one estimator instance for ``method`` (no caching).
+
+        Shared by the warm-up path (which caches the instance) and the frozen
+        query path (which builds a fresh, query-local instance per query so
+        the engine's shared state stays untouched).  Construction is cheap --
+        estimators hold references to the graph/model/indexes, never copies.
+        """
+        kernel = resolved_kernel(method, self.kernel)
+        if method == "mc":
+            return MonteCarloEstimator(self.graph, self.model, budget, seed, kernel=kernel)
+        if method == "rr":
+            return ReverseReachableEstimator(self.graph, self.model, budget, seed, kernel=kernel)
+        if method in ("lazy", "lazy-batched"):
+            return LazyPropagationEstimator(self.graph, self.model, budget, seed, kernel=kernel)
+        if method == "tim":
+            return TreeModelEstimator(self.graph, self.model, budget)
+        if method == "indexest":
+            return IndexEstimator(self.graph, self.model, self.rr_index, budget)
+        if method == "indexest+":
+            return PrunedIndexEstimator(self.graph, self.model, self.rr_index, budget)
+        # delaymat
+        return DelayedIndexEstimator(
+            self.graph, self.model, self.delayed_index, budget, seed=seed
+        )
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def is_frozen(self) -> bool:
+        """Whether :meth:`freeze` flipped this engine into read-only serving."""
+        return self._frozen
+
+    @property
+    def freeze_guard(self) -> FrozenGuard:
+        """The engine's mutation tripwire (``violations`` lists every trip)."""
+        return self._guard
+
+    @property
+    def frozen_methods(self) -> Tuple[str, ...]:
+        """The methods warmed by :meth:`freeze` (empty while unfrozen)."""
+        return self._frozen_methods
+
+    def freeze(
+        self,
+        methods: Optional[Iterable[str]] = None,
+        ks: Optional[Iterable[int]] = None,
+    ) -> "PitexEngine":
+        """Warm every configured method, then flip the engine read-only.
+
+        Warming builds the offline indexes the listed ``methods`` need,
+        resolves their kernels into the estimator cache (one entry per
+        ``(method, default epsilon/delta, k)`` for each ``k`` in ``ks``), and
+        materializes the lazily cached graph/model structures (CSR view,
+        probability matrix, fingerprint, Jensen ratios) so no first-access
+        build can happen on the serving path.
+
+        After ``freeze()``:
+
+        * :meth:`query` and :meth:`estimate_influence` run on *query-local*
+          estimators seeded by the stateless ``(seed, query fingerprint)``
+          derivation of :meth:`query_seed` -- no shared RNG stream, no shared
+          caches, no counters; concurrent queries from any number of threads
+          return bitwise the same answers as a serial replay;
+        * the :class:`~repro.utils.freeze.FrozenGuard` raises
+          :class:`~repro.exceptions.EngineFrozenError` on any mutation of the
+          graph, the indexes or the warmed estimators (including estimating
+          *through* a warmed shared estimator, which would consume its RNG);
+        * :meth:`estimator` keeps answering for warmed keys (introspection)
+          and raises for combinations not covered by ``freeze``.
+
+        ``methods`` defaults to every method; ``ks`` defaults to the engine's
+        ``default_k``.  Re-freezing with a configuration already covered by
+        the first freeze is a no-op (returns ``self``); asking an already
+        frozen engine to warm *additional* methods or ``k`` values raises --
+        warming mutates shared state, so the caller must ``thaw()`` first.
+        """
+        if methods is None:
+            method_list = list(METHODS)
+        else:
+            method_list = [method.lower() for method in methods]
+            for method in method_list:
+                if method not in METHODS:
+                    raise InvalidParameterError(
+                        f"unknown method {method!r}; choose from {METHODS}"
+                    )
+        k_list = sorted({int(k) for k in ks}) if ks is not None else [self.budget.k]
+        for k in k_list:
+            if k <= 0:
+                raise InvalidParameterError(f"k must be positive, got {k}")
+        if self._frozen:
+            uncovered = [m for m in method_list if m not in self._frozen_methods]
+            uncovered += [k for k in k_list if k not in self._frozen_ks]
+            if uncovered:
+                raise EngineFrozenError(
+                    f"engine is already frozen without {uncovered!r} warmed; "
+                    "thaw() before freezing a different configuration"
+                )
+            return self
+        # Warm the shared lazily-built read-only structures.
+        _ = self.graph.csr
+        _ = self.graph.probability_matrix
+        self.graph.max_edge_probabilities()
+        self.graph.fingerprint()
+        self.model.jensen_ratios()
+        for method in method_list:
+            for k in k_list:
+                self.estimator(method, k=k)
+        self._frozen_methods = tuple(dict.fromkeys(method_list))
+        self._frozen_ks = tuple(k_list)
+        self._frozen = True
+        self._guarded_objects = [self.graph]
+        for index in (self._rr_index, self._delayed_index):
+            if index is not None:
+                self._guarded_objects.append(index)
+        self._guarded_objects.extend(self._estimators.values())
+        for obj in self._guarded_objects:
+            attach_freeze_guard(obj, self._guard)
+        self._guard.engage()
+        return self
+
+    def thaw(self) -> "PitexEngine":
+        """Return a frozen engine to the mutable warm-up phase.
+
+        Disengages the guard and detaches it from every structure it froze
+        (shared objects -- e.g. a graph served by several engines -- keep any
+        *other* engine's guard), restoring the shared cached-estimator query
+        path.  Past guard violations are preserved for inspection.
+        """
+        self._guard.disengage()
+        for obj in self._guarded_objects:
+            detach_freeze_guard(obj, self._guard)
+        self._guarded_objects = []
+        self._frozen = False
+        self._frozen_methods = ()
+        self._frozen_ks = ()
+        return self
+
+    def query_fingerprint(
+        self,
+        user: int,
+        method: str,
+        k: int,
+        epsilon: float,
+        delta: float,
+        exploration: str = "best-effort",
+        extra: str = "",
+    ) -> str:
+        """A stable hex digest identifying one query's full configuration.
+
+        Pure function of its arguments -- no engine state is read beyond the
+        immutable configuration -- so equal queries map to equal fingerprints
+        in any process, thread or arrival order.
+        """
+        payload = "|".join(
+            (
+                str(int(user)),
+                method.lower(),
+                exploration,
+                str(int(k)),
+                repr(float(epsilon)),
+                repr(float(delta)),
+                extra,
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def query_seed(
+        self,
+        user: int,
+        method: str,
+        k: int,
+        epsilon: float,
+        delta: float,
+        exploration: str = "best-effort",
+        extra: str = "",
+    ) -> int:
+        """The stateless per-query RNG root: ``(engine seed, fingerprint)``.
+
+        Mixes the engine's eagerly drawn stream root with the query
+        fingerprint.  Unlike the shared mutable streams of the warm-up phase,
+        two engines with the same seed derive the same root for the same query
+        no matter how many other queries ran before or concurrently -- the
+        property the concurrency equivalence harness pins down.
+        """
+        fingerprint = self.query_fingerprint(
+            user, method, k, epsilon, delta, exploration=exploration, extra=extra
+        )
+        return (self._stream_root ^ int(fingerprint[:15], 16)) & (2**63 - 1)
+
+    def _check_frozen_method(self, method: str) -> str:
+        """Reject methods :meth:`freeze` did not warm.
+
+        Only the *method* set is fixed at freeze time -- it determines which
+        offline indexes exist, the one shared structure the frozen path
+        depends on.  ``k`` / ``epsilon`` / ``delta`` are deliberately
+        unrestricted: every query runs on a query-local estimator whose
+        budget and RNG derive statelessly from the request, so arbitrary
+        accuracy overrides serve fine (and reproducibly) without touching
+        shared state.
+
+        The rejection raises *directly* (no guard trip): an unwarmed request
+        is a routing error by the caller, not a shared-state mutation, so it
+        must not poison the zero-violations invariant the stress harness and
+        ``bench_serving`` assert.  Without this check the outcome would
+        depend on implementation accident -- unwarmed index methods tripped
+        the guard at the lazy index build while unwarmed sampling methods
+        silently succeeded.
+        """
+        method = method.lower()
+        if method not in METHODS:
+            raise InvalidParameterError(f"unknown method {method!r}; choose from {METHODS}")
+        if method not in self._frozen_methods:
+            raise EngineFrozenError(
+                f"frozen engine cannot serve unwarmed method {method!r} "
+                f"(warmed: {self._frozen_methods}); include it in "
+                "freeze(methods=...) or thaw() first"
+            )
+        return method
+
+    def _query_estimator(
+        self, method: str, query: PitexQuery, exploration: str
+    ) -> InfluenceEstimator:
+        """A fresh query-local estimator for the frozen read-only path."""
+        method = self._check_frozen_method(method)
+        budget = self.budget.with_overrides(
+            epsilon=query.epsilon, delta=query.delta, k=query.k
+        )
+        seed = self.query_seed(
+            query.user, method, query.k, query.epsilon, query.delta, exploration=exploration
+        )
+        return self._build_estimator(method, budget, RandomSource(seed))
 
     # ------------------------------------------------------------------ query
     def query(
@@ -309,7 +552,13 @@ class PitexEngine:
             epsilon=epsilon if epsilon is not None else self.budget.epsilon,
             delta=delta if delta is not None else self.budget.delta,
         )
-        estimator = self.estimator(method, query.epsilon, query.delta, query.k)
+        if self._frozen:
+            # Read-only serving: a fresh estimator per query, seeded by the
+            # stateless (seed, fingerprint) derivation -- nothing shared is
+            # touched, so concurrent queries need no lock.
+            estimator = self._query_estimator(method, query, exploration)
+        else:
+            estimator = self.estimator(method, query.epsilon, query.delta, query.k)
         if exploration == "enumeration":
             explorer = EnumerationExplorer(self.model, estimator, keep_evaluations)
             if candidate_tags is not None:
@@ -332,8 +581,26 @@ class PitexEngine:
         delta: Optional[float] = None,
     ) -> InfluenceEstimate:
         """Estimate ``E[I(user|tags)]`` for one explicit tag set."""
+        tag_ids = self.model.resolve_tags(tags)
+        if self._frozen:
+            budget = self.budget.with_overrides(
+                epsilon=epsilon if epsilon is not None else self.budget.epsilon,
+                delta=delta if delta is not None else self.budget.delta,
+            )
+            method = self._check_frozen_method(method)
+            seed = self.query_seed(
+                user,
+                method,
+                budget.k,
+                budget.epsilon,
+                budget.delta,
+                exploration="estimate",
+                extra=repr(tag_ids),
+            )
+            estimator = self._build_estimator(method, budget, RandomSource(seed))
+            return estimator.estimate(user, tag_ids)
         estimator = self.estimator(method, epsilon, delta, None)
-        return estimator.estimate(user, self.model.resolve_tags(tags))
+        return estimator.estimate(user, tag_ids)
 
     # ------------------------------------------------------------------ info
     def describe(self) -> str:
@@ -342,5 +609,6 @@ class PitexEngine:
             f"PitexEngine(|V|={self.graph.num_vertices}, |E|={self.graph.num_edges}, "
             f"|Z|={self.graph.num_topics}, |Omega|={self.model.num_tags}, "
             f"eps={self.budget.epsilon}, delta={self.budget.delta}, "
-            f"index_samples={self.index_samples})"
+            f"index_samples={self.index_samples}"
+            f"{', frozen' if self._frozen else ''})"
         )

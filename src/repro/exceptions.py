@@ -46,3 +46,8 @@ class IndexNotBuiltError(IndexError_):
 
 class EstimationError(PitexError):
     """An influence estimation could not be carried out."""
+
+
+class EngineFrozenError(PitexError, RuntimeError):
+    """A mutation was attempted on an engine (or a structure it owns) after
+    :meth:`~repro.core.engine.PitexEngine.freeze` flipped it read-only."""

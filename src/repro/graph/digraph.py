@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import GraphError, UnknownEdgeError, UnknownVertexError
 from repro.graph.csr import CSRAdjacency
+from repro.utils.freeze import guard_check
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,7 @@ class TopicSocialGraph:
     # --------------------------------------------------------------- mutation
     def add_edge(self, source: int, target: int, topic_probabilities: Sequence[float]) -> int:
         """Add a directed edge with its ``p(e|z)`` vector and return its id."""
+        guard_check(self, "add_edge while a frozen engine serves this graph")
         self._check_vertex(source)
         self._check_vertex(target)
         if source == target:

@@ -32,6 +32,7 @@ from repro.index.pruning import choose_edge_cut
 from repro.index.rr_graph import RRGraph, generate_rr_graph, tag_aware_reachable
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
+from repro.utils.freeze import guard_check
 from repro.utils.rng import RandomSource, SeedLike, spawn_rng
 from repro.utils.timer import Stopwatch
 
@@ -50,6 +51,7 @@ class DelayedMaterializationIndex:
 
     def build(self) -> "DelayedMaterializationIndex":
         """Sample ``theta`` RR-Graphs, record only per-user containment counts."""
+        guard_check(self, "rebuild a frozen delayed-materialization index")
         watch = Stopwatch().start()
         max_probabilities = self.graph.max_edge_probabilities()
         self.containment_counts = {}
@@ -147,7 +149,9 @@ class DelayedMaterializationIndex:
         reverse membership BFS, and the surviving ``c(e)`` values are re-drawn
         in a single batched uniform call.
         """
-        rng = rng if rng is not None else self._rng
+        if rng is None:
+            guard_check(self, "draw from a frozen index's shared recovery RNG")
+            rng = self._rng
         csr = self.graph.csr
         max_probabilities = self.graph.max_edge_probabilities()
         # 1) forward live-edge sample from the user under p(e).
@@ -231,6 +235,7 @@ class DelayedIndexEstimator(InfluenceEstimator):
     def _graphs_for(self, user: int) -> List[RRGraph]:
         graphs = self._recovered.get(user)
         if graphs is None:
+            guard_check(self, "recover RR-Graphs into a frozen estimator's shared cache")
             graphs = self.index.recover_for_user(user, self._rng)
             self._recovered[user] = graphs
         return graphs
@@ -239,6 +244,7 @@ class DelayedIndexEstimator(InfluenceEstimator):
         cached = self._filters.get(user)
         if cached is not None:
             return cached
+        guard_check(self, "build filter structures in a frozen estimator's shared cache")
         max_probabilities = self.graph.max_edge_probabilities()
         inverted: Dict[int, List[Tuple[float, int]]] = {}
         always: Set[int] = set()
@@ -308,5 +314,6 @@ class DelayedIndexEstimator(InfluenceEstimator):
 
     def clear_cache(self) -> None:
         """Drop recovered graphs (e.g. between unrelated query batches)."""
+        guard_check(self, "clear a frozen estimator's recovery cache")
         self._recovered.clear()
         self._filters.clear()

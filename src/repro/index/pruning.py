@@ -34,6 +34,7 @@ from repro.index.rr_graph import RRGraph, structurally_reachable, tag_aware_reac
 from repro.index.rr_index import RRGraphIndex
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
+from repro.utils.freeze import guard_check
 
 
 @dataclass
@@ -145,6 +146,7 @@ class PrunedIndexEstimator(InfluenceEstimator):
         cached = self._user_structures.get(user)
         if cached is not None:
             return cached
+        guard_check(self, "build cut structures in a frozen estimator's shared cache")
         max_probabilities = self.graph.max_edge_probabilities()
         inverted: Dict[int, List[Tuple[float, int]]] = {}
         always: Set[int] = set()

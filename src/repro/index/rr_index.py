@@ -22,6 +22,7 @@ from repro.graph.digraph import TopicSocialGraph
 from repro.index.rr_graph import RRGraph, generate_rr_graph, tag_aware_reachable
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.topics.model import TagTopicModel
+from repro.utils.freeze import guard_check
 from repro.utils.rng import SeedLike, spawn_rng
 from repro.utils.timer import Stopwatch
 
@@ -56,6 +57,7 @@ class RRGraphIndex:
     # ------------------------------------------------------------------ build
     def build(self) -> "RRGraphIndex":
         """Materialize ``num_samples`` RR-Graphs (offline phase of Algorithm 3)."""
+        guard_check(self, "rebuild a frozen RR-Graph index")
         watch = Stopwatch().start()
         max_probabilities = self.graph.max_edge_probabilities()
         self.rr_graphs = []

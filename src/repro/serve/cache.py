@@ -14,6 +14,15 @@ a stale snapshot, so the entry is dropped and rebuilt instead of served.
 All operations are thread-safe; ``get_or_create`` serializes factory calls for
 the *same* key so concurrent requests cannot build one engine twice, while
 different keys build in parallel.
+
+By default ``get_or_create`` also **freezes** every factory-built engine
+before inserting it (:meth:`PitexEngine.freeze`): a cached engine is by
+definition shared across requests, and only a frozen engine can serve those
+requests concurrently without the service's per-engine lock.  Pass
+``freeze=False`` for the historical serialize-behind-a-lock behaviour, or
+``freeze_methods`` to warm only the methods a deployment actually serves.
+``put`` never freezes -- callers inserting an engine directly keep full
+control over its lifecycle.
 """
 
 from __future__ import annotations
@@ -21,9 +30,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional
+from typing import Callable, Hashable, List, Optional, Sequence
 
-from repro.core.engine import PitexEngine
+from repro.core.engine import METHODS, PitexEngine
 from repro.exceptions import InvalidParameterError
 
 
@@ -67,12 +76,39 @@ class _Gate:
 
 
 class EngineCache:
-    """A thread-safe LRU cache of warm :class:`PitexEngine` instances."""
+    """A thread-safe LRU cache of warm :class:`PitexEngine` instances.
 
-    def __init__(self, capacity: int = 8) -> None:
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached engines (LRU eviction beyond it).
+    freeze:
+        Freeze factory-built engines before caching them (default), so the
+        service can serve each cached engine from several workers at once.
+    freeze_methods:
+        Methods passed to :meth:`PitexEngine.freeze` on insert; ``None``
+        warms every method.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        freeze: bool = True,
+        freeze_methods: Optional[Sequence[str]] = None,
+    ) -> None:
         if capacity <= 0:
             raise InvalidParameterError(f"capacity must be positive, got {capacity}")
+        if freeze_methods is not None:
+            # Fail fast: a typo here would otherwise surface only after every
+            # expensive factory build, and be re-paid on every retry.
+            unknown = [m for m in freeze_methods if m.lower() not in METHODS]
+            if unknown:
+                raise InvalidParameterError(
+                    f"unknown freeze_methods {unknown!r}; choose from {METHODS}"
+                )
         self.capacity = int(capacity)
+        self.freeze = bool(freeze)
+        self.freeze_methods = tuple(freeze_methods) if freeze_methods is not None else None
         self.stats = EngineCacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
@@ -128,6 +164,10 @@ class EngineCache:
 
         Concurrent misses on the same key run ``factory`` once: the first
         caller builds under a per-key lock while the rest wait and then hit.
+        When the cache was constructed with ``freeze=True`` (the default) the
+        built engine is frozen -- still under the single-flight gate, so the
+        warm-up work happens exactly once too -- before it becomes visible to
+        other callers.
         """
         engine = self.get(key)
         if engine is not None:
@@ -145,6 +185,8 @@ class EngineCache:
                 if engine is not None:
                     return engine
                 engine = factory()
+                if self.freeze and not engine.is_frozen:
+                    engine.freeze(self.freeze_methods)
                 self.put(key, engine)
                 return engine
         finally:

@@ -23,11 +23,20 @@ from repro.utils.stats import LatencyAccumulator
 
 @dataclass
 class ReplayReport:
-    """Outcome of one replay run: responses plus aggregated latency stats."""
+    """Outcome of one replay run: responses plus aggregated latency stats.
+
+    ``num_workers`` and ``mode`` record *how* the run executed --
+    ``"frozen-parallel"`` (read-only engine, no per-engine lock, requests fan
+    across the pool) vs ``"serial"`` (unfrozen engine behind its identity
+    lock) -- so a persisted latency artifact is self-describing: two reports
+    are only comparable when both axes match.
+    """
 
     method: str
     num_queries: int
     wall_seconds: float
+    num_workers: int = 1
+    mode: str = "serial"
     responses: List[QueryResponse] = field(default_factory=list)
     overall: LatencyAccumulator = field(default_factory=lambda: LatencyAccumulator(label="all"))
     by_group: Dict[str, LatencyAccumulator] = field(default_factory=dict)
@@ -56,7 +65,7 @@ class ReplayReport:
         )
         result.add_note(
             f"wall={self.wall_seconds:.3f}s throughput={self.throughput_qps:.1f} qps "
-            f"failures={self.failures}"
+            f"failures={self.failures} workers={self.num_workers} mode={self.mode}"
         )
         return result
 
@@ -65,6 +74,8 @@ class ReplayReport:
         return {
             "method": self.method,
             "num_queries": self.num_queries,
+            "num_workers": self.num_workers,
+            "mode": self.mode,
             "wall_seconds": self.wall_seconds,
             "throughput_qps": self.throughput_qps,
             "failures": self.failures,
@@ -103,7 +114,14 @@ def replay_stream(
     for future in futures:
         responses.append(future.result())
     wall = time.monotonic() - started
-    report = ReplayReport(method=method, num_queries=len(stream), wall_seconds=wall, responses=responses)
+    report = ReplayReport(
+        method=method,
+        num_queries=len(stream),
+        wall_seconds=wall,
+        num_workers=service.num_workers,
+        mode=service.execution_mode(engine_key),
+        responses=responses,
+    )
     for response in responses:
         report.overall.add(response.latency_seconds)
         group = response.request.group or "all"

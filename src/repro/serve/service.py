@@ -2,13 +2,22 @@
 
 The service accepts :class:`QueryRequest` submissions from any thread, queues
 them, and has a small worker pool drain the queue in *batches grouped by
-engine key*: an engine is not thread-safe (lazy index builds, estimator and
-``DelayMat`` recovery caches), so all requests against one engine run under a
-per-engine lock -- but grouping consecutive same-engine requests into one
-batch keeps a warm engine on one worker while other workers serve other
-engines.  Per-request queue wait and execution latency feed the
-:class:`ServiceMetrics` accumulators (p50/p95/p99, throughput), which is what
-``pitex serve-replay`` and ``bench_serving`` report.
+engine key*.  How a batch executes depends on the engine's lifecycle phase:
+
+* a **frozen** engine (:meth:`PitexEngine.freeze`) is read-only -- its query
+  path touches no shared mutable state -- so batches against it run with *no
+  lock at all*: several workers answer requests for the same engine
+  concurrently (true intra-engine parallelism);
+* an **unfrozen** engine is not thread-safe (lazy index builds, estimator and
+  ``DelayMat`` recovery caches, shared RNG streams), so all requests against
+  it run under a per-engine identity lock, exactly as before.
+
+Grouping consecutive same-engine requests into one batch keeps a warm engine
+on one worker while other workers serve other engines (or, for frozen
+engines, other slices of the same backlog).  Per-request queue wait and
+execution latency feed the :class:`ServiceMetrics` accumulators (p50/p95/p99,
+throughput), which is what ``pitex serve-replay`` and ``bench_serving``
+report.
 """
 
 from __future__ import annotations
@@ -142,9 +151,11 @@ class PitexService:
         ``EngineCache.get_or_create`` partially applied, or a plain dict
         lookup.  Called from worker threads; must be thread-safe.
     num_workers:
-        Worker threads draining the queue.  More workers only help when the
-        workload spans several distinct engines (one engine serves serially,
-        even when reached through several keys).
+        Worker threads draining the queue.  For frozen engines every worker
+        can answer the same engine concurrently; for unfrozen engines more
+        workers only help when the workload spans several distinct engines
+        (an unfrozen engine serves serially, even when reached through
+        several keys).
     max_batch:
         Upper bound on how many same-engine requests one worker claims at
         once.
@@ -173,6 +184,8 @@ class PitexService:
             weakref.WeakKeyDictionary()
         )
         self._key_locks: Dict[Hashable, threading.Lock] = {}
+        # Last execution mode observed per key (workers write, GIL-atomic).
+        self._observed_modes: Dict[Hashable, str] = {}
         self._closed = False
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"pitex-serve-{i}", daemon=True)
@@ -185,6 +198,25 @@ class PitexService:
     def for_engine(cls, engine: PitexEngine, num_workers: int = 1, max_batch: int = 8) -> "PitexService":
         """A service that answers everything with one fixed engine."""
         return cls(lambda key: engine, num_workers=num_workers, max_batch=max_batch)
+
+    @property
+    def num_workers(self) -> int:
+        """Size of the worker pool."""
+        return len(self._workers)
+
+    def execution_mode(self, engine_key: Hashable = DEFAULT_ENGINE_KEY) -> str:
+        """How requests for ``engine_key`` last executed.
+
+        ``"frozen-parallel"`` -- the engine was frozen, so same-engine
+        requests fanned across the worker pool with no lock; ``"serial"`` --
+        the engine was unfrozen and serialized behind its identity lock;
+        ``"unknown"`` -- no batch for the key has executed yet.  The mode is
+        *observed* by the workers as they resolve engines, never probed
+        through the provider -- probing could trigger a full engine build
+        just to answer a status question.  Used by the replay report so
+        benchmark artifacts are self-describing.
+        """
+        return self._observed_modes.get(engine_key, "unknown")
 
     # ----------------------------------------------------------------- submit
     def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
@@ -268,6 +300,34 @@ class PitexService:
             except Exception as exc:  # engine build failed: fail the batch
                 self._fail_batch(batch, f"engine {key!r} unavailable: {exc}")
                 continue
+            if getattr(engine, "is_frozen", False):
+                # Read-only engine: no identity lock.  Another worker may be
+                # executing a different slice of the same engine's backlog
+                # right now -- that is the point of the frozen lifecycle.
+                # Batching exists to keep an unfrozen engine on one worker,
+                # which is exactly wrong here: keep only a fair share of the
+                # claimed batch and return the tail to the queue so idle
+                # workers fan out over it instead of waiting behind
+                # max_batch.  The tail is merged back by enqueue timestamp,
+                # not pushed to the front: front-requeueing would let a
+                # steady frozen backlog repeatedly leapfrog an older request
+                # for another (serial) key and starve it.
+                self._observed_modes[key] = "frozen-parallel"
+                share = max(1, -(-len(batch) // len(self._workers)))
+                if len(batch) > share:
+                    tail = batch[share:]
+                    batch = batch[:share]
+                    with self._condition:
+                        merged = sorted(
+                            list(self._queue) + tail,
+                            key=lambda pending: pending.enqueued_monotonic,
+                        )
+                        self._queue = deque(merged)
+                        self._condition.notify_all()
+                for pending in batch:
+                    self._execute(engine, pending, len(batch))
+                continue
+            self._observed_modes[key] = "serial"
             with self._lock_for(key, engine):
                 for pending in batch:
                     self._execute(engine, pending, len(batch))

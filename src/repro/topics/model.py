@@ -142,6 +142,13 @@ class TagTopicModel:
         posterior is defined as the all-zero vector, which makes every edge
         probability -- and therefore the influence beyond the seed -- zero.
         An empty tag set returns the prior.
+
+        The cache insert uses ``setdefault`` so concurrent readers (frozen
+        engines answer queries from several threads) racing on a miss all end
+        up with the *same* cached array: the computation is a pure function of
+        the immutable matrix/prior, so whichever thread wins stores a value
+        bitwise identical to every loser's -- an idempotent, benign race under
+        the GIL's atomic dict operations.
         """
         tag_ids = self.resolve_tags(tag_set)
         key = frozenset(tag_ids)
@@ -157,8 +164,7 @@ class TagTopicModel:
             weighted = likelihood * self._prior
             total = weighted.sum()
             posterior = weighted / total if total > 0.0 else np.zeros(self._num_topics)
-        self._posterior_cache[key] = posterior
-        return posterior
+        return self._posterior_cache.setdefault(key, posterior)
 
     def posterior_support(self, tag_set: Iterable) -> np.ndarray:
         """Boolean mask of topics with ``p(z|W) > 0``."""

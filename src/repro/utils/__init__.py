@@ -11,8 +11,11 @@ The utilities are intentionally small and dependency free (only ``numpy``):
   confidence helpers used by sample-size derivations.
 * :mod:`repro.utils.validation` -- argument checking helpers shared by public
   API entry points.
+* :mod:`repro.utils.freeze` -- the frozen-engine mutation tripwire backing
+  :meth:`repro.core.engine.PitexEngine.freeze`.
 """
 
+from repro.utils.freeze import FrozenGuard, attach_freeze_guard, guard_check
 from repro.utils.rng import RandomSource, spawn_rng
 from repro.utils.heap import BatchedEventQueue, MinHeap, MaxHeap, LazyEdgeHeap
 from repro.utils.timer import Stopwatch, Counter, TimingRecord
@@ -33,6 +36,9 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "FrozenGuard",
+    "attach_freeze_guard",
+    "guard_check",
     "RandomSource",
     "spawn_rng",
     "MinHeap",

@@ -1,6 +1,7 @@
 """Tests for the warm engine cache and the concurrent query service."""
 
 import threading
+import time
 
 import pytest
 
@@ -82,9 +83,87 @@ def test_cache_concurrent_create_runs_factory_once(dataset):
     assert len(calls) == 1
 
 
+def test_cache_single_flight_under_contention_builds_exactly_once(dataset):
+    """Regression: many staggered concurrent misses -> exactly one factory run.
+
+    The factory sleeps so every thread arrives while the build is still in
+    flight (the window in which a broken gate would let a second build
+    through), and the returned engine must be the *same object* for all
+    callers -- a second silent build would hand out a divergent engine.
+    """
+    cache = EngineCache(capacity=4, freeze=False)
+    build_calls = []
+    build_started = threading.Event()
+
+    def slow_factory():
+        build_calls.append(threading.get_ident())
+        build_started.set()
+        time.sleep(0.05)  # hold the gate open while the others pile up
+        return make_engine(dataset)
+
+    results = [None] * 8
+    barrier = threading.Barrier(8)
+
+    def worker(slot):
+        barrier.wait()
+        if slot % 2:
+            build_started.wait(timeout=5.0)  # half the threads arrive mid-build
+        results[slot] = cache.get_or_create("shared", slow_factory)
+
+    threads = [threading.Thread(target=worker, args=(slot,)) for slot in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(build_calls) == 1, f"factory ran {len(build_calls)} times"
+    assert all(engine is results[0] for engine in results)
+    assert len(cache) == 1
+
+
+def test_cache_single_flight_retries_after_factory_failure(dataset):
+    """A failed build releases the gate; the next caller rebuilds cleanly."""
+    cache = EngineCache(capacity=2, freeze=False)
+    attempts = []
+
+    def flaky_factory():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise RuntimeError("transient build failure")
+        return make_engine(dataset)
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_create("k", flaky_factory)
+    engine = cache.get_or_create("k", flaky_factory)
+    assert len(attempts) == 2
+    assert cache.get("k") is engine
+
+
+def test_cache_freezes_on_insert_by_default(dataset):
+    """Cached engines are shared across requests, so they freeze on insert."""
+    cache = EngineCache(capacity=2, freeze_methods=["indexest", "lazy"])
+    engine = cache.get_or_create("a", lambda: make_engine(dataset))
+    assert engine.is_frozen
+    assert engine.frozen_methods == ("indexest", "lazy")
+    # A hit returns the already-frozen engine without re-freezing.
+    assert cache.get_or_create("a", lambda: pytest.fail("rebuilt on a hit")) is engine
+
+    unfrozen_cache = EngineCache(capacity=2, freeze=False)
+    engine = unfrozen_cache.get_or_create("a", lambda: make_engine(dataset))
+    assert not engine.is_frozen
+    # put() never freezes: direct inserts keep lifecycle control at the caller.
+    cache.put("b", make_engine(dataset))
+    assert not cache.get("b").is_frozen
+
+
 def test_cache_rejects_nonpositive_capacity():
     with pytest.raises(InvalidParameterError):
         EngineCache(capacity=0)
+
+
+def test_cache_rejects_unknown_freeze_methods():
+    # Fail at construction, not after the first expensive factory build.
+    with pytest.raises(InvalidParameterError):
+        EngineCache(freeze_methods=["indexes"])  # typo for "indexest"
 
 
 # ---------------------------------------------------------------- PitexService
@@ -143,9 +222,13 @@ def test_service_routes_engine_keys_and_fails_unknown(dataset):
 
     user = dataset.workload("mid", 1)[0]
     with PitexService(provider, num_workers=2) as service:
+        assert service.num_workers == 2
+        assert service.execution_mode("a") == "unknown"  # nothing observed yet
         ok_a = service.submit(QueryRequest(user=user, k=2, method="lazy", engine_key="a")).result()
         ok_b = service.submit(QueryRequest(user=user, k=2, method="lazy", engine_key="b")).result()
         bad = service.submit(QueryRequest(user=user, k=2, method="lazy", engine_key="zz")).result()
+        assert service.execution_mode("a") == "serial"
+        assert service.execution_mode("zz") == "unknown"  # provider never resolved it
     assert ok_a.ok and ok_b.ok
     assert not bad.ok and "unavailable" in bad.error
 
