@@ -312,6 +312,7 @@ class PitexService:
                 # not pushed to the front: front-requeueing would let a
                 # steady frozen backlog repeatedly leapfrog an older request
                 # for another (serial) key and starve it.
+                # pitexlint: ignore[LCK001] -- GIL-atomic dict store; execution_mode() documents last-writer-wins
                 self._observed_modes[key] = "frozen-parallel"
                 share = max(1, -(-len(batch) // len(self._workers)))
                 if len(batch) > share:
@@ -327,6 +328,7 @@ class PitexService:
                 for pending in batch:
                     self._execute(engine, pending, len(batch))
                 continue
+            # pitexlint: ignore[LCK001] -- GIL-atomic dict store; execution_mode() documents last-writer-wins
             self._observed_modes[key] = "serial"
             with self._lock_for(key, engine):
                 for pending in batch:

@@ -32,6 +32,7 @@ from repro.exceptions import ModelError
 from repro.graph.digraph import TopicSocialGraph
 from repro.topics.action_log import ActionLog
 from repro.topics.model import TagTopicModel
+from repro.utils.rng import RandomSource, SeedLike
 
 
 @dataclass
@@ -85,6 +86,7 @@ def learn_tic_model(
     iterations: int = 5,
     smoothing: float = 0.01,
     max_probability: float = 0.9,
+    seed: SeedLike = 13,
 ) -> TICLearningResult:
     """Learn ``p(e|z)`` and ``p(w|z)`` from a propagation log.
 
@@ -107,6 +109,10 @@ def learn_tic_model(
     max_probability:
         Cap applied to learned edge probabilities (credit estimators can reach
         1.0 on tiny logs, which would make downstream influence degenerate).
+    seed:
+        Seed for the EM bootstrap (any :data:`~repro.utils.rng.SeedLike`).
+        The default ``13`` reproduces the historical bootstrap stream, so
+        learned models are unchanged for callers that never passed a seed.
     """
     if num_topics <= 0:
         raise ModelError(f"num_topics must be positive, got {num_topics}")
@@ -117,8 +123,8 @@ def learn_tic_model(
         num_tags = (max(observed) + 1) if observed else 1
 
     # --- bootstrap: tags spread uniformly over topics, refined by EM ---------
-    rng = np.random.default_rng(13)
-    tag_topic = rng.uniform(0.5, 1.5, size=(num_tags, num_topics))
+    rng = RandomSource(seed)
+    tag_topic = rng.generator.uniform(0.5, 1.5, size=(num_tags, num_topics))
     tag_topic /= tag_topic.sum(axis=0, keepdims=True)
     prior = np.full(num_topics, 1.0 / num_topics)
 

@@ -10,9 +10,10 @@ running-statistics helpers used by the convergence experiment (Fig. 6).
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence
+
+from repro.utils.rng import RandomSource
 
 
 def chernoff_upper_tail(delta: float) -> float:
@@ -197,7 +198,11 @@ class LatencyAccumulator:
     _running: RunningMean = field(default_factory=RunningMean)
     _min: float = float("inf")
     _max: float = float("-inf")
-    _reservoir_rng: random.Random = field(default_factory=lambda: random.Random(0x51A75), repr=False)
+    # Reservoir replacement draws are instrumentation-only randomness (they
+    # shape the percentile snapshot past the cap, never a query answer), but
+    # they still flow through RandomSource so the whole library has a single
+    # seeded RNG idiom -- and runs stay reproducible bit-for-bit.
+    _reservoir_rng: RandomSource = field(default_factory=lambda: RandomSource(0x51A75), repr=False)
 
     def add(self, seconds: float) -> None:
         """Record one latency observation (in seconds)."""
@@ -208,7 +213,7 @@ class LatencyAccumulator:
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
         else:
-            slot = self._reservoir_rng.randrange(self._running.count)
+            slot = self._reservoir_rng.integer(0, self._running.count)
             if slot < self.max_samples:
                 self._samples[slot] = value
 
@@ -234,7 +239,7 @@ class LatencyAccumulator:
             if len(self._samples) < self.max_samples:
                 self._samples.append(value)
             else:
-                slot = self._reservoir_rng.randrange(self._running.count)
+                slot = self._reservoir_rng.integer(0, self._running.count)
                 if slot < self.max_samples:
                     self._samples[slot] = value
 

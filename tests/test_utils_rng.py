@@ -108,3 +108,76 @@ def test_spawn_rng_accepts_generator_and_source():
     child = spawn_rng(source, salt=1)
     assert isinstance(child, RandomSource)
     assert child is not source
+
+
+# ---------------------------------------------------------------------------
+# SeedLike normalization: RandomSource accepts None / int / Generator /
+# RandomSource, and each variant has a precise contract.
+# ---------------------------------------------------------------------------
+
+
+def test_seedlike_none_is_fresh_entropy():
+    source = RandomSource(None)
+    assert source.seed is None
+    # Fresh OS entropy: two unseeded sources must not share a stream.
+    other = RandomSource(None)
+    assert [source.uniform() for _ in range(4)] != [other.uniform() for _ in range(4)]
+
+
+def test_seedlike_int_matches_default_rng():
+    source = RandomSource(42)
+    assert source.seed == 42
+    reference = np.random.default_rng(42)
+    assert [source.uniform() for _ in range(5)] == [float(reference.uniform(0.0, 1.0)) for _ in range(5)]
+
+
+def test_seedlike_generator_is_adopted_not_copied():
+    generator = np.random.default_rng(5)
+    source = RandomSource(generator)
+    assert source.generator is generator
+    assert source.seed is None  # the wrapper cannot know the generator's seed
+    # Draws through the wrapper advance the adopted generator's stream.
+    reference = np.random.default_rng(5)
+    assert source.uniform() == float(reference.uniform(0.0, 1.0))
+    assert float(generator.uniform(0.0, 1.0)) == float(reference.uniform(0.0, 1.0))
+
+
+def test_seedlike_randomsource_shares_stream_and_seed():
+    parent = RandomSource(11)
+    view = RandomSource(parent)
+    assert view.generator is parent.generator
+    assert view.seed == parent.seed == 11
+    # Interleaved draws consume one shared stream.
+    reference = RandomSource(11)
+    assert [parent.uniform(), view.uniform(), parent.uniform()] == [
+        reference.uniform() for _ in range(3)
+    ]
+
+
+def test_spawn_rng_int_without_salt_is_the_root_stream():
+    assert [spawn_rng(42).uniform() for _ in range(3)] == [RandomSource(42).uniform() for _ in range(3)]
+
+
+def test_spawn_rng_from_source_never_aliases_the_parent():
+    parent = RandomSource(6)
+    child = spawn_rng(parent)  # even salt=0 must spawn, not share
+    assert child.generator is not parent.generator
+    assert [child.uniform() for _ in range(3)] != [RandomSource(6).uniform() for _ in range(3)]
+
+
+def test_labeled_child_streams_are_deterministic_per_salt():
+    salts = (1, 2, 97)
+    first = {salt: RandomSource(7).spawn(salt).uniforms(4).tolist() for salt in salts}
+    second = {salt: RandomSource(7).spawn(salt).uniforms(4).tolist() for salt in salts}
+    assert first == second  # same parent seed + same label -> same child stream
+    streams = list(first.values())
+    for i in range(len(streams)):
+        for j in range(i + 1, len(streams)):
+            assert streams[i] != streams[j]  # distinct labels -> distinct streams
+
+
+def test_child_streams_depend_on_parent_draw_position():
+    fresh = RandomSource(7)
+    advanced = RandomSource(7)
+    advanced.uniform()  # spawn() folds in parent entropy, so position matters
+    assert fresh.spawn(3).uniforms(4).tolist() != advanced.spawn(3).uniforms(4).tolist()

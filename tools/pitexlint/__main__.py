@@ -1,0 +1,7 @@
+"""``python -m pitexlint`` entry point."""
+
+import sys
+
+from pitexlint.cli import main
+
+sys.exit(main())

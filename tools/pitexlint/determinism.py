@@ -1,0 +1,198 @@
+"""Determinism rules (DET001-DET004).
+
+The reproduction's headline property -- bitwise-reproducible answers across
+processes, threads and arrival orders (PR 4/PR 5) -- holds only while every
+random draw flows through seeded :class:`repro.utils.rng.RandomSource`
+streams and no compute path reads ambient nondeterminism.  These rules flag
+the four ways that property has been (or could be) broken:
+
+* **DET001** -- constructing numpy generators directly
+  (``np.random.default_rng(...)``, legacy ``np.random.*`` samplers).  Even a
+  *seeded* direct construction bypasses the engine's stream-labeling scheme,
+  which is exactly the ``tic_learner`` bug this rule first caught.
+* **DET002** -- stdlib ``random`` module use: per-process global state, not
+  spawnable, invisible to ``RandomSource`` seed plumbing.
+* **DET003** -- builtin ``hash()`` feeding seeds or stream keys:
+  ``PYTHONHASHSEED``-randomized per process (the PR 4 regression).
+* **DET004** -- ``time.time()`` inside the compute core: wall-clock values in
+  results or control flow make runs irreproducible by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from pitexlint.core import Finding, SourceModule
+from pitexlint.registry import (
+    DETERMINISM_SCOPE,
+    NUMPY_RANDOM_ATTRS,
+    NUMPY_RNG_ALLOW,
+    RULES,
+    STDLIB_RANDOM_ATTRS,
+    WALL_CLOCK_ALLOW,
+    WALL_CLOCK_SCOPE,
+    in_scope,
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name-rooted chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+class _Imports(ast.NodeVisitor):
+    """Name bindings relevant to the determinism rules."""
+
+    def __init__(self) -> None:
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.numpy_random_names: Set[str] = set()  # from numpy.random import X
+        self.stdlib_random_aliases: Set[str] = set()
+        self.stdlib_random_names: Set[str] = set()  # from random import X
+        self.time_aliases: Set[str] = set()
+        self.wall_clock_names: Set[str] = set()  # from time import time
+        self.shadowed: Set[str] = set()  # module-level rebindings of builtins
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                self.numpy_aliases.add(bound if alias.asname is None else bound)
+            if alias.name == "numpy.random" and alias.asname:
+                self.numpy_random_aliases.add(alias.asname)
+            if alias.name == "random":
+                self.stdlib_random_aliases.add(bound)
+            if alias.name == "time":
+                self.time_aliases.add(bound)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "numpy" and alias.name == "random":
+                self.numpy_random_aliases.add(bound)
+            elif node.module == "numpy.random":
+                self.numpy_random_names.add(bound)
+            elif node.module == "random":
+                self.stdlib_random_names.add(bound)
+            elif node.module == "time" and alias.name == "time":
+                self.wall_clock_names.add(bound)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.shadowed.add(target.id)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.shadowed.add(node.name)  # do not descend: only module-level names
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.shadowed.add(node.name)
+
+
+def _finding(module: SourceModule, node: ast.AST, rule: str, detail: str) -> Finding:
+    return Finding(
+        file=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=f"{detail}; {RULES[rule].split(';')[-1].strip()}",
+    )
+
+
+def check(module: SourceModule) -> Iterator[Finding]:
+    """Yield DET001-DET004 findings for one module."""
+    path = module.scope_path
+    det_scope = in_scope(path, DETERMINISM_SCOPE)
+    clock_scope = in_scope(path, WALL_CLOCK_SCOPE) and not in_scope(path, WALL_CLOCK_ALLOW)
+    if not det_scope and not clock_scope:
+        return
+    imports = _Imports()
+    imports.visit(module.tree)
+    rng_factory_file = in_scope(path, NUMPY_RNG_ALLOW)
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        chain = dotted_name(func)
+
+        if det_scope and not rng_factory_file:
+            yield from _check_numpy(module, node, chain, imports)
+            yield from _check_stdlib_random(module, node, chain, imports)
+            yield from _check_hash(module, func, imports)
+        if clock_scope:
+            yield from _check_wall_clock(module, node, chain, imports)
+
+
+def _check_numpy(
+    module: SourceModule, node: ast.Call, chain: Optional[List[str]], imports: _Imports
+) -> Iterator[Finding]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in imports.numpy_random_names:
+        yield _finding(module, node, "DET001", f"direct numpy.random.{func.id}(...) call")
+        return
+    if not chain or len(chain) < 2:
+        return
+    attr = chain[-1]
+    if attr not in NUMPY_RANDOM_ATTRS:
+        return
+    root = chain[0]
+    if len(chain) >= 3 and root in imports.numpy_aliases and chain[1] == "random":
+        yield _finding(module, node, "DET001", f"direct {'.'.join(chain)}(...) call")
+    elif len(chain) == 2 and root in imports.numpy_random_aliases:
+        yield _finding(module, node, "DET001", f"direct numpy.random.{attr}(...) call")
+
+
+def _check_stdlib_random(
+    module: SourceModule, node: ast.Call, chain: Optional[List[str]], imports: _Imports
+) -> Iterator[Finding]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in imports.stdlib_random_names:
+        yield _finding(module, node, "DET002", f"stdlib random.{func.id}(...) call")
+        return
+    if (
+        chain
+        and len(chain) == 2
+        and chain[0] in imports.stdlib_random_aliases
+        and chain[1] in STDLIB_RANDOM_ATTRS
+    ):
+        yield _finding(module, node, "DET002", f"stdlib {'.'.join(chain)}(...) call")
+
+
+def _check_hash(
+    module: SourceModule, func: ast.AST, imports: _Imports
+) -> Iterator[Finding]:
+    if isinstance(func, ast.Name) and func.id == "hash" and "hash" not in imports.shadowed:
+        yield _finding(
+            module,
+            func,
+            "DET003",
+            "builtin hash() call in seed/key derivation",
+        )
+
+
+def _check_wall_clock(
+    module: SourceModule, node: ast.Call, chain: Optional[List[str]], imports: _Imports
+) -> Iterator[Finding]:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in imports.wall_clock_names:
+        yield _finding(module, node, "DET004", "wall clock time() call in a compute path")
+        return
+    if (
+        chain
+        and len(chain) == 2
+        and chain[0] in imports.time_aliases
+        and chain[1] == "time"
+    ):
+        yield _finding(module, node, "DET004", "wall clock time.time() call in a compute path")

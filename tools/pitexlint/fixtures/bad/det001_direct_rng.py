@@ -1,0 +1,23 @@
+"""BAD fixture: direct numpy generator construction inside library code.
+
+Must fire DET001 -- this is the exact shape of the ``tic_learner`` bug
+(a *seeded* direct construction still bypasses RandomSource stream labeling).
+"""
+
+# pitexlint: path=src/repro/sampling/fixture_det001.py
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bootstrap_matrix(num_tags, num_topics):
+    rng = np.random.default_rng(13)
+    return rng.uniform(0.5, 1.5, size=(num_tags, num_topics))
+
+
+def legacy_sampler(n):
+    return np.random.randint(0, n)
+
+
+def from_imported(n):
+    return default_rng(n)

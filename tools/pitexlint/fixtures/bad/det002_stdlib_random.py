@@ -1,0 +1,21 @@
+"""BAD fixture: stdlib ``random`` use inside library code.
+
+Must fire DET002 -- per-process global state invisible to RandomSource.
+"""
+
+# pitexlint: path=src/repro/utils/fixture_det002.py
+
+import random
+from random import randrange
+
+
+def reservoir_slot(count):
+    return random.Random(0x51A75).randrange(count)
+
+
+def jitter():
+    return random.random()
+
+
+def from_imported(count):
+    return randrange(count)

@@ -1,0 +1,17 @@
+"""BAD fixture: the PR 4 regression -- builtin ``hash()`` in seed derivation.
+
+Must fire DET003.  ``hash()`` is PYTHONHASHSEED-randomized per process, so a
+seed salted with it differs across runs even when every input is identical.
+This fixture preserves the exact pattern so reintroducing it anywhere in the
+library is caught statically.
+"""
+
+# pitexlint: path=src/repro/core/fixture_det003.py
+
+
+def stream_seed(base_seed, label):
+    return (base_seed ^ hash(label)) & 0xFFFFFFFFFFFFFFFF
+
+
+def cache_key(query):
+    return hash((query.vertex, tuple(query.topics)))

@@ -1,0 +1,22 @@
+"""BAD fixture: wall clock reads inside the deterministic compute core.
+
+Must fire DET004 -- wall-clock values in results or control flow make runs
+irreproducible by construction.
+"""
+
+# pitexlint: path=src/repro/index/fixture_det004.py
+
+import time
+from time import time as now
+
+
+def build_with_deadline(budget_seconds):
+    started = time.time()
+    rows = []
+    while time.time() - started < budget_seconds:
+        rows.append(len(rows))
+    return rows
+
+
+def stamp():
+    return now()

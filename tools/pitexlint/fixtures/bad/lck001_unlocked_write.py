@@ -1,0 +1,25 @@
+"""BAD fixture: a lock-owning serve class writes shared state lock-free.
+
+Must fire LCK001 -- the class declares concurrency by owning ``self._lock``,
+then mutates self-reachable state outside any ``with <lock>`` block.
+"""
+
+# pitexlint: path=src/repro/serve/fixture_lck001.py
+
+import threading
+
+
+class RequestCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+        self.total = 0
+
+    def record(self, key):
+        self.total += 1
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def reset(self):
+        with self._lock:
+            self._counts.clear()
+        self.total = 0

@@ -1,0 +1,5 @@
+"""BAD fixture: unparseable file.  Must fire PARSE001."""
+
+
+def broken(:
+    return None

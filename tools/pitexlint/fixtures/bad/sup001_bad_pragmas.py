@@ -1,0 +1,12 @@
+"""BAD fixture: malformed suppression pragmas.
+
+Must fire SUP001 for each malformed pragma: a suppression with no reason, one
+naming an unknown rule, one naming no rules at all, and an unrecognized verb.
+"""
+
+# pitexlint: path=src/repro/utils/fixture_sup001.py
+
+WIDTH = 120  # pitexlint: ignore[DET001]
+DEPTH = 7  # pitexlint: ignore[NOPE999] -- not a real rule
+COUNT = 3  # pitexlint: ignore[] -- names nothing
+LABEL = "x"  # pitexlint: silence[DET001] -- unrecognized verb

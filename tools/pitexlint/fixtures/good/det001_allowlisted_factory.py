@@ -1,0 +1,13 @@
+"""GOOD fixture: the one sanctioned numpy-RNG construction point.
+
+DET001 must stay quiet -- ``src/repro/utils/rng.py`` is the allowlisted
+factory where ``np.random.default_rng`` is *supposed* to be called.
+"""
+
+# pitexlint: path=src/repro/utils/rng.py
+
+import numpy as np
+
+
+def normalize(seed):
+    return np.random.default_rng(seed)

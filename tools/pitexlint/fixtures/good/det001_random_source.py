@@ -1,0 +1,18 @@
+"""GOOD fixture: library code drawing through RandomSource streams.
+
+DET001 must stay quiet -- every draw flows through the seeded RandomSource /
+spawn_rng plumbing; no generator is constructed directly.
+"""
+
+# pitexlint: path=src/repro/sampling/fixture_det001_ok.py
+
+from repro.utils.rng import RandomSource, spawn_rng
+
+
+def bootstrap_matrix(seed, num_tags, num_topics):
+    rng = RandomSource(seed)
+    return rng.generator.uniform(0.5, 1.5, size=(num_tags, num_topics))
+
+
+def labeled_stream(seed, salt):
+    return spawn_rng(seed, salt)

@@ -1,0 +1,26 @@
+"""GOOD fixture: reservoir sampling without the stdlib ``random`` module.
+
+DET002 must stay quiet -- replacement slots come from a seeded RandomSource,
+the post-migration shape of ``utils/stats.py``.
+"""
+
+# pitexlint: path=src/repro/utils/fixture_det002_ok.py
+
+from repro.utils.rng import RandomSource
+
+
+class Reservoir:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.samples = []
+        self.count = 0
+        self._rng = RandomSource(0x51A75)
+
+    def add(self, value):
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.integer(0, self.count)
+        if slot < self.capacity:
+            self.samples[slot] = value

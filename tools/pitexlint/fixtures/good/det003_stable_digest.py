@@ -1,0 +1,22 @@
+"""GOOD fixture: process-stable seed derivation.
+
+DET003 must stay quiet -- stream labels are digested with ``zlib.crc32``
+(stable across processes), and a locally *defined* ``hash`` shadows the
+builtin, so calls to it are not the randomized builtin.
+"""
+
+# pitexlint: path=src/repro/core/fixture_det003_ok.py
+
+import zlib
+
+
+def stream_seed(base_seed, label):
+    return (base_seed ^ zlib.crc32(label.encode("utf-8"))) & 0xFFFFFFFFFFFFFFFF
+
+
+def hash(value):  # noqa: A001 - deliberate shadow for the fixture
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+def cache_key(query):
+    return hash((query.vertex, tuple(query.topics)))

@@ -1,0 +1,20 @@
+"""GOOD fixture: wall clock outside the compute core, monotonic inside it.
+
+DET004 must stay quiet twice over: ``src/repro/serve/store.py`` is the
+allowlisted manifest-metadata writer (provenance timestamps, not compute
+state), and duration measurement uses the monotonic ``perf_counter``.
+"""
+
+# pitexlint: path=src/repro/serve/store.py
+
+import time
+
+
+def manifest_metadata():
+    return {"created_at": time.time()}
+
+
+def measure(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

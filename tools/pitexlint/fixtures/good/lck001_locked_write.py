@@ -1,0 +1,37 @@
+"""GOOD fixture: lock discipline done right in the serving layer.
+
+LCK001 must stay quiet -- every shared write in the lock-owning class happens
+inside ``with self._lock`` / ``with self._condition``, and the lock-free
+class makes no concurrency claim (it owns no lock), so it is exempt.
+"""
+
+# pitexlint: path=src/repro/serve/fixture_lck001_ok.py
+
+import threading
+
+
+class RequestCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._counts = {}
+        self.total = 0
+
+    def record(self, key):
+        with self._lock:
+            self.total += 1
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def drain(self):
+        with self._condition:
+            snapshot = dict(self._counts)
+            self._counts.clear()
+            return snapshot
+
+
+class SingleThreadedScratch:
+    def __init__(self):
+        self.rows = []
+
+    def push(self, row):
+        self.rows.append(row)

@@ -1,0 +1,7 @@
+"""GOOD fixture: a syntactically valid module.  PARSE001 must stay quiet."""
+
+# pitexlint: path=src/repro/utils/fixture_parse001_ok.py
+
+
+def intact():
+    return 42

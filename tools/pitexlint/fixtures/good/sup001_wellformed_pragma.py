@@ -1,0 +1,21 @@
+"""GOOD fixture: justified suppressions in both supported positions.
+
+SUP001 must stay quiet and the DET002 findings must come back *suppressed*
+(reasons attached): one pragma rides the offending line, one sits on a
+standalone comment line directly above it.
+"""
+
+# pitexlint: path=src/repro/utils/fixture_sup001_ok.py
+
+import random
+
+
+def jitter():
+    return random.random()  # pitexlint: ignore[DET002] -- fixture: same-line suppression with a reason
+
+
+def shuffle_copy(rows):
+    out = list(rows)
+    # pitexlint: ignore[DET002] -- fixture: standalone line-above suppression with a reason
+    random.shuffle(out)
+    return out

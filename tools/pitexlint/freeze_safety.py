@@ -1,0 +1,66 @@
+"""Freeze-safety rule (FRZ001): the "mutation escape" detector.
+
+PR 5's frozen-engine contract says every known mutation point of the
+guard-wired classes (:data:`pitexlint.registry.GUARDED_CLASSES`) calls
+``guard_check`` on entry, so a frozen engine turns any post-freeze mutation
+into an :class:`~repro.exceptions.EngineFrozenError` instead of a silent
+race.  The contract is only as good as its coverage: a *new* mutating method
+added without the tripwire silently re-opens the hole, and no runtime test
+fails until something races through it.
+
+FRZ001 closes that gap statically.  For every registered class it flags any
+method that mutates ``self``-reachable state (see
+:mod:`pitexlint.mutations`) without a ``guard_check`` call, unless the
+method is an allowlisted lifecycle/cache-build hook (``__init__``, ``thaw``,
+``freeze``, or a per-class entry in the registry -- each of which documents
+why the escape is sound).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from pitexlint.core import Finding, SourceModule
+from pitexlint.mutations import function_mutations, is_guard_call
+from pitexlint.registry import (
+    FREEZE_GLOBAL_ALLOW,
+    FREEZE_SCOPE,
+    GUARDED_CLASSES,
+    in_scope,
+)
+
+
+def _has_guard_call(function: ast.AST) -> bool:
+    return any(is_guard_call(node) for node in ast.walk(function))
+
+
+def check(module: SourceModule) -> Iterator[Finding]:
+    """Yield FRZ001 findings for one module."""
+    if not in_scope(module.scope_path, FREEZE_SCOPE):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef) or node.name not in GUARDED_CLASSES:
+            continue
+        allowed = FREEZE_GLOBAL_ALLOW | GUARDED_CLASSES[node.name]
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in allowed:
+                continue
+            mutations = function_mutations(method)
+            if not mutations or _has_guard_call(method):
+                continue
+            first = mutations[0]
+            extra = f" (+{len(mutations) - 1} more)" if len(mutations) > 1 else ""
+            yield Finding(
+                file=module.display_path,
+                line=first.line,
+                col=first.col,
+                rule="FRZ001",
+                message=(
+                    f"{node.name}.{method.name} {first.description}{extra} without a "
+                    "guard_check tripwire; call guard_check(self, ...) on entry, or "
+                    "allowlist the method in pitexlint/registry.py with a justification"
+                ),
+            )

@@ -1,0 +1,207 @@
+"""Rule scopes, allowlists and the guard-wired class registry.
+
+Everything path-shaped here is a *repo-relative posix path prefix* matched
+against the file being linted (or against its ``# pitexlint: path=...``
+override, which is how the fixture corpus emulates in-tree locations without
+living in ``src/``).  Keeping the configuration in one module makes the
+linter's policy reviewable at a glance and keeps the rule implementations
+mechanical.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------- rules
+RULES = {
+    "DET001": (
+        "direct numpy RNG use; route randomness through "
+        "repro.utils.rng.RandomSource / spawn_rng"
+    ),
+    "DET002": (
+        "stdlib `random` module use; route randomness through "
+        "repro.utils.rng.RandomSource (process-stable, spawnable streams)"
+    ),
+    "DET003": (
+        "builtin hash() in seed/key derivation; hash() is randomized per "
+        "process (PYTHONHASHSEED) -- use zlib.crc32/hashlib over a stable label"
+    ),
+    "DET004": (
+        "wall clock time.time() in a compute path; use a caller-supplied "
+        "timestamp or utils.timer.Stopwatch for durations"
+    ),
+    "FRZ001": (
+        "guard-wired class mutates shared state without a guard_check "
+        "tripwire; add guard_check(self, ...) or an allowlist entry"
+    ),
+    "LCK001": (
+        "lock-owning serve class writes shared state outside a `with "
+        "<lock>` block"
+    ),
+    "SUP001": "malformed pitexlint pragma (missing reason or unknown rule)",
+    "PARSE001": "file could not be parsed",
+}
+
+# ---------------------------------------------------------------- rule scopes
+# DET001/DET002/DET003 apply to library code; tests and benchmarks may build
+# arbitrary adversarial inputs with whatever RNG they like.
+DETERMINISM_SCOPE = ("src/repro/",)
+
+# The one sanctioned numpy-RNG construction point: RandomSource itself.
+NUMPY_RNG_ALLOW = ("src/repro/utils/rng.py",)
+
+# DET004 applies only to the deterministic compute core.
+WALL_CLOCK_SCOPE = (
+    "src/repro/sampling/",
+    "src/repro/core/",
+    "src/repro/index/",
+    "src/repro/propagation/",
+)
+# Manifest metadata timestamps are provenance, not compute state.
+WALL_CLOCK_ALLOW = ("src/repro/serve/store.py",)
+
+FREEZE_SCOPE = ("src/repro/",)
+LOCK_SCOPE = ("src/repro/serve/",)
+
+# ------------------------------------------------------- determinism details
+# numpy.random attributes whose direct use bypasses RandomSource.  Covers the
+# generator factories, the legacy global-state samplers and explicit seeding.
+NUMPY_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "SeedSequence",
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "geometric",
+        "exponential",
+        "poisson",
+        "beta",
+        "gamma",
+        "dirichlet",
+        "multinomial",
+    }
+)
+
+# stdlib random attributes that draw from (or reseed) the module RNG.
+STDLIB_RANDOM_ATTRS = frozenset(
+    {
+        "Random",
+        "SystemRandom",
+        "seed",
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+# -------------------------------------------------- freeze-safety registry
+# Methods allowed to mutate on ANY guard-wired class: construction and the
+# explicit freeze lifecycle (freeze/thaw run strictly outside the read-only
+# window -- freeze() engages the guard only after warming).
+FREEZE_GLOBAL_ALLOW = frozenset({"__init__", "__post_init__", "freeze", "thaw"})
+
+# The guard-wired classes of PR 5 and their per-class allowlists.  An entry
+# is a *justified* mutation escape: each listed method either builds a lazy
+# cache that PitexEngine.freeze() warms before engaging the guard, or is a
+# private helper reachable only through guard-checked callers.
+GUARDED_CLASSES = {
+    "TopicSocialGraph": frozenset(
+        {
+            # Lazy caches warmed by freeze() before the guard engages; they
+            # cannot be invalidated afterwards because add_edge (the only
+            # invalidator) is guard-checked.
+            "csr",
+            "probability_matrix",
+            "max_edge_probabilities",
+            "fingerprint",
+        }
+    ),
+    "RRGraphIndex": frozenset(),
+    "DelayedMaterializationIndex": frozenset(),
+    "InfluenceEstimator": frozenset(),
+    "MonteCarloEstimator": frozenset(),
+    "ReverseReachableEstimator": frozenset(),
+    "LazyPropagationEstimator": frozenset(),
+    "TreeModelEstimator": frozenset(),
+    "IndexEstimator": frozenset(),
+    "PrunedIndexEstimator": frozenset(),
+    "DelayedIndexEstimator": frozenset(),
+    "PitexEngine": frozenset(
+        {
+            # Reachable only through attach_rr_index/attach_delayed_index,
+            # both of which guard-check before calling it.
+            "_drop_index_estimators",
+        }
+    ),
+}
+
+# Container methods that mutate their receiver in place.
+MUTATING_CONTAINER_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "move_to_end",
+        "fill",
+    }
+)
+
+# Substrings identifying a lock-ish `with` context expression (matched on the
+# dotted source of the context manager, case-insensitive): `with self._lock`,
+# `with self._condition`, `with gate.lock`, `with self._lock_for(...)` all
+# qualify.
+LOCKISH_TOKENS = ("lock", "condition", "mutex", "semaphore", "_cv")
+
+# threading constructors whose assignment marks an attribute as a lock.
+LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+
+def in_scope(path: str, prefixes: tuple) -> bool:
+    """Whether ``path`` (repo-relative posix) falls under any prefix."""
+    return any(path == p or path.startswith(p) for p in prefixes)
