@@ -13,7 +13,13 @@ Three shape assertions back the serving subsystem (``repro.serve``):
   parallelism physically possible -- at least
   :data:`MIN_PARALLEL_SPEEDUP` x the single-worker throughput.  On smaller
   hosts the measured speedup is still recorded in the JSON artifact, but the
-  throughput gate is skipped (a 1-core container cannot speed anything up).
+  throughput gate is skipped (a 1-core container cannot speed anything up);
+* the ``--backend process`` axis: the same stream through
+  :class:`ProcessShardedService` -- N forked frozen replicas on mmap'd store
+  arrays -- is bitwise equal to the single-worker thread oracle, and its
+  N-worker throughput clears the same speedup gate where cores allow.  Unlike
+  the thread sweep, process workers escape the GIL, so this is the leg
+  expected to actually scale on multi-core hosts.
 
 The latency/throughput report is also written as JSON -- to the path in the
 ``PITEX_SERVING_REPORT`` environment variable (default
@@ -32,6 +38,7 @@ from repro.datasets.synthetic import load_dataset
 from repro.index.rr_index import RRGraphIndex
 from repro.serve.replay import replay_stream
 from repro.serve.service import PitexService
+from repro.serve.sharded import ProcessShardedService, publish_engine_spec
 from repro.serve.store import IndexStore
 from repro.utils.timer import Stopwatch
 
@@ -221,6 +228,103 @@ def test_frozen_worker_sweep_is_bitwise_equal_and_scales(
     assert speedup >= MIN_PARALLEL_SPEEDUP, (
         f"{workers}-worker frozen replay reached only {speedup:.2f}x over one worker "
         f"(gate: >= {MIN_PARALLEL_SPEEDUP}x on the index-backed methods)"
+    )
+
+
+def test_process_backend_matches_thread_oracle_and_scales(
+    request, serving_dataset, serving_store, report_payload, harness
+):
+    """The ``--backend process`` axis: forked replicas vs the thread oracle.
+
+    One serial thread-backend replay over a frozen engine is the bitwise
+    reference; the process backend must return identical answers at any
+    worker count (same engine seed + stateless per-query RNG derivation).
+    Throughput is swept 1 vs N process workers; the
+    >= :data:`MIN_PARALLEL_SPEEDUP` x gate applies only where the host has
+    cores to back it, but the measured speedup always lands in the artifact.
+    """
+    workers = max(2, int(request.config.getoption("--workers")))
+    graph, model = serving_dataset.graph, serving_dataset.model
+    loaded, _, _ = serving_store.load_or_build_rr(
+        graph, model, INDEX_SAMPLES, seed=harness_seed(serving_dataset)
+    )
+    stream = serving_dataset.query_workload.query_stream(
+        REPLAY_QUERIES, seed=harness.config.seed
+    )
+
+    # Thread oracle: one worker, frozen engine, in-process arrays.
+    oracle_engine = PitexEngine(
+        graph,
+        model,
+        max_samples=harness.config.max_samples,
+        index_samples=INDEX_SAMPLES,
+        default_k=2,
+        seed=harness.config.seed,
+        rr_index=loaded,
+    ).freeze(methods=["indexest+"], ks=[2])
+    with PitexService.for_engine(oracle_engine, num_workers=1, max_batch=4) as service:
+        oracle = replay_stream(service, stream, method="indexest+", k=2)
+    assert oracle.failures == 0
+
+    # Process backend: replicas rebuilt in workers from the mmap'd store.
+    spec = publish_engine_spec(
+        serving_store,
+        graph,
+        model,
+        engine_seed=harness.config.seed,
+        index_samples=INDEX_SAMPLES,
+        methods=("indexest+",),
+        ks=(2,),
+        max_samples=harness.config.max_samples,
+        default_k=2,
+        index_seed=harness_seed(serving_dataset),
+    )
+    reports = {}
+    for pool_size in (1, workers):
+        with ProcessShardedService(spec, num_workers=pool_size) as service:
+            reports[pool_size] = replay_stream(service, stream, method="indexest+", k=2)
+
+    def answers(report):
+        return [
+            (resp.request.user, resp.result.tag_ids, resp.result.spread)
+            for resp in report.responses
+        ]
+
+    for pool_size, report in reports.items():
+        assert report.failures == 0
+        assert report.mode == "process-sharded"
+        assert report.backend == "process"
+        assert answers(report) == answers(oracle), (
+            f"{pool_size}-worker process replay diverged from the thread oracle"
+        )
+
+    speedup = reports[workers].throughput_qps / reports[1].throughput_qps
+    print(
+        f"\nprocess replay: {reports[1].throughput_qps:.1f} qps @1 worker vs "
+        f"{reports[workers].throughput_qps:.1f} qps @{workers} workers "
+        f"({speedup:.2f}x, {os.cpu_count()} cores)"
+    )
+    report_payload["process_sweep"] = {
+        "method": "indexest+",
+        "backend": "process",
+        "num_queries": REPLAY_QUERIES,
+        "cores": os.cpu_count(),
+        "workers": workers,
+        "throughput_1": reports[1].throughput_qps,
+        f"throughput_{workers}": reports[workers].throughput_qps,
+        "speedup": speedup,
+        "bitwise_equal_to_thread_oracle": True,
+    }
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_SPEEDUP_GATE or MIN_PARALLEL_SPEEDUP <= 0:
+        pytest.skip(
+            f"speedup gate needs >= {MIN_CORES_FOR_SPEEDUP_GATE} cores and a positive "
+            f"PITEX_MIN_PARALLEL_SPEEDUP (host has {cores} cores, gate "
+            f"{MIN_PARALLEL_SPEEDUP}); measured {speedup:.2f}x recorded in the artifact"
+        )
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"{workers}-worker process replay reached only {speedup:.2f}x over one worker "
+        f"(gate: >= {MIN_PARALLEL_SPEEDUP}x; processes are not GIL-bound)"
     )
 
 

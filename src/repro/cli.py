@@ -106,11 +106,20 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--workers", type=int, default=2)
     replay.add_argument("--max-batch", type=int, default=8)
     replay.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="serving backend: a thread pool over one shared engine "
+             "(reference oracle), or one frozen engine replica per worker "
+             "process reconstructed from mmap'd store arrays (requires "
+             "--store; implies --freeze; escapes the GIL)",
+    )
+    replay.add_argument(
         "--freeze",
         action="store_true",
         help="freeze the engine (read-only) before serving so requests fan "
              "across all workers concurrently instead of serializing behind "
-             "the per-engine lock",
+             "the per-engine lock (always on for --backend process)",
     )
     replay.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
     return parser
@@ -227,8 +236,13 @@ def _run_index_build(args: argparse.Namespace) -> int:
 def _run_serve_replay(args: argparse.Namespace) -> int:
     from repro.serve.replay import replay_stream
     from repro.serve.service import PitexService
+    from repro.serve.sharded import ProcessShardedService, publish_engine_spec
     from repro.serve.store import IndexStore
 
+    if args.backend == "process" and args.store is None:
+        print("serve-replay: --backend process requires --store (workers "
+              "reconstruct replicas from the persisted arrays)", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     graph, model = dataset.graph, dataset.model
     rr_index = delayed_index = None
@@ -245,26 +259,51 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
                 graph, model, args.index_samples, seed=args.seed
             )
             index_info.append(("delaymat", loaded, seconds))
-    engine = PitexEngine(
-        graph,
-        model,
-        epsilon=args.epsilon,
-        delta=args.delta,
-        max_samples=args.max_samples,
-        index_samples=args.index_samples,
-        default_k=args.k,
-        seed=args.seed,
-        rr_index=rr_index,
-        delayed_index=delayed_index,
-    )
-    if args.freeze:
-        # Warm only the served method; the report's "mode" field records that
-        # the run executed on the lock-free frozen path.
-        engine.freeze(methods=[args.method], ks=[args.k])
     stream_seed = args.stream_seed if args.stream_seed is not None else args.seed
     stream = dataset.query_workload.query_stream(args.num_queries, seed=stream_seed)
-    with PitexService.for_engine(engine, num_workers=args.workers, max_batch=args.max_batch) as service:
-        report = replay_stream(service, stream, method=args.method, k=args.k)
+    if args.backend == "process":
+        # One frozen replica per worker process, rebuilt from the store's
+        # mmap'd arrays; bitwise-equal to the thread backend by the stateless
+        # (seed, query fingerprint) derivation.  Freezing is implicit.
+        spec = publish_engine_spec(
+            store,
+            graph,
+            model,
+            engine_seed=args.seed,
+            index_samples=args.index_samples,
+            methods=(args.method,),
+            ks=(args.k,),
+            epsilon=args.epsilon,
+            delta=args.delta,
+            max_samples=args.max_samples,
+            default_k=args.k,
+            index_seed=args.seed,
+        )
+        with ProcessShardedService(spec, num_workers=args.workers) as service:
+            report = replay_stream(service, stream, method=args.method, k=args.k)
+        document_metrics = service.metrics.snapshot()
+    else:
+        engine = PitexEngine(
+            graph,
+            model,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            max_samples=args.max_samples,
+            index_samples=args.index_samples,
+            default_k=args.k,
+            seed=args.seed,
+            rr_index=rr_index,
+            delayed_index=delayed_index,
+        )
+        if args.freeze:
+            # Warm only the served method; the report's "mode" field records
+            # that the run executed on the lock-free frozen path.
+            engine.freeze(methods=[args.method], ks=[args.k])
+        with PitexService.for_engine(
+            engine, num_workers=args.workers, max_batch=args.max_batch
+        ) as service:
+            report = replay_stream(service, stream, method=args.method, k=args.k)
+        document_metrics = service.metrics.snapshot()
     if args.json:
         document = report.to_json()
         document["dataset"] = args.dataset
@@ -273,7 +312,7 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             {"kind": kind, "loaded": loaded, "seconds": seconds}
             for kind, loaded, seconds in index_info
         ]
-        document["service"] = service.metrics.snapshot()
+        document["service"] = document_metrics
         print(json.dumps(document, indent=2))
     else:
         print(f"dataset: {dataset.describe()}")

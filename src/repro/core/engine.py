@@ -353,6 +353,13 @@ class PitexEngine:
         the first freeze is a no-op (returns ``self``); asking an already
         frozen engine to warm *additional* methods or ``k`` values raises --
         warming mutates shared state, so the caller must ``thaw()`` first.
+
+        The contract extends across *processes*: the stream root behind
+        :meth:`query_seed` is drawn eagerly at construction, so a replica
+        built in another process from the same integer seed and the same
+        graph/model/index bytes answers every frozen query bitwise
+        identically (what :mod:`repro.serve.sharded` relies on; see
+        ``docs/architecture.md``).
         """
         if methods is None:
             method_list = list(METHODS)

@@ -51,3 +51,16 @@ class EstimationError(PitexError):
 class EngineFrozenError(PitexError, RuntimeError):
     """A mutation was attempted on an engine (or a structure it owns) after
     :meth:`~repro.core.engine.PitexEngine.freeze` flipped it read-only."""
+
+
+class StoreError(PitexError):
+    """An :class:`~repro.serve.store.IndexStore` entry is missing or corrupt
+    in a way that load-or-build cannot silently repair (e.g. a shared graph
+    bundle whose reconstructed fingerprint no longer matches its manifest)."""
+
+
+class WorkerError(PitexError, RuntimeError):
+    """A process-sharded serving worker failed: it crashed, could not build
+    its engine replica, or returned an unpicklable payload.  Raised (or set as
+    a response error) by :class:`~repro.serve.sharded.ProcessShardedService`
+    instead of hanging the caller."""

@@ -348,6 +348,105 @@ class TopicSocialGraph:
             f"|Z|={self._num_topics})"
         )
 
+    # ----------------------------------------------------- shared-array codec
+    def to_shared_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the graph into plain numpy arrays for cross-process sharing.
+
+        The returned dict is exactly what :meth:`from_shared_arrays` consumes:
+        the CSR adjacency arrays, the ``(|E|, |Z|)`` probability matrix and a
+        small ``shape`` header carrying ``(|V|, |Z|, |E|, version)``.  Every
+        value is a contiguous array, so the dict can be persisted with
+        ``np.savez`` and later memory-mapped read-only by worker processes
+        (:meth:`repro.serve.store.IndexStore.save_graph_bundle`).  Warming the
+        CSR / probability caches here is the only side effect; the graph
+        itself is not mutated.
+        """
+        csr = self.csr
+        return {
+            "shape": np.array(
+                [self._num_vertices, self._num_topics, self.num_edges, self._version],
+                dtype=np.int64,
+            ),
+            "edge_sources": csr.edge_sources,
+            "edge_targets": csr.edge_targets,
+            "out_indptr": csr.out_indptr,
+            "out_targets": csr.out_targets,
+            "out_edge_ids": csr.out_edge_ids,
+            "in_indptr": csr.in_indptr,
+            "in_sources": csr.in_sources,
+            "in_edge_ids": csr.in_edge_ids,
+            "probability_matrix": np.ascontiguousarray(self.probability_matrix, dtype=float),
+        }
+
+    @classmethod
+    def from_shared_arrays(
+        cls,
+        arrays: Dict[str, np.ndarray],
+        vertex_labels: Optional[Sequence[str]] = None,
+    ) -> "TopicSocialGraph":
+        """Reconstruct a graph from :meth:`to_shared_arrays` output, zero-copy.
+
+        The heavy float payload (the probability matrix) and all CSR arrays
+        are adopted *as given* -- when the caller passes read-only memory maps
+        (``np.load(..., mmap_mode="r")``), the replica shares those pages with
+        every other process instead of copying them.  Only the O(|E|) Python
+        adjacency lists and the edge lookup dict are rebuilt.  The mutation
+        ``version`` is restored from the header, so the replica produces the
+        same :func:`index_cache_key` as the original graph and
+        :meth:`fingerprint` matches bitwise.  The replica stays fully mutable:
+        ``add_edge`` falls back to the ordinary copy-on-write cache rebuild.
+        """
+        header = np.asarray(arrays["shape"], dtype=np.int64)
+        num_vertices, num_topics, num_edges, version = (int(value) for value in header)
+        graph = cls(num_vertices, num_topics, vertex_labels)
+        sources = np.asarray(arrays["edge_sources"], dtype=np.int64)
+        targets = np.asarray(arrays["edge_targets"], dtype=np.int64)
+        matrix = arrays["probability_matrix"]
+        if len(sources) != num_edges or matrix.shape != (num_edges, num_topics):
+            raise GraphError(
+                f"shared arrays are inconsistent: header says {num_edges} edges x "
+                f"{num_topics} topics, got {len(sources)} endpoints and "
+                f"probability matrix {matrix.shape}"
+            )
+        graph._edge_source = sources.tolist()
+        graph._edge_target = targets.tolist()
+        graph._edge_lookup = {
+            (source, target): edge_id
+            for edge_id, (source, target) in enumerate(
+                zip(graph._edge_source, graph._edge_target)
+            )
+        }
+        # Row views into the (possibly mmap'd) matrix; topic_probabilities()
+        # hands these out read-only without ever materializing a copy.
+        graph._edge_probs = list(matrix)
+        graph._prob_matrix = matrix
+        out_indptr = np.asarray(arrays["out_indptr"], dtype=np.int64)
+        in_indptr = np.asarray(arrays["in_indptr"], dtype=np.int64)
+        out_edge_ids = np.asarray(arrays["out_edge_ids"], dtype=np.int64)
+        in_edge_ids = np.asarray(arrays["in_edge_ids"], dtype=np.int64)
+        graph._out = [
+            out_edge_ids[out_indptr[v] : out_indptr[v + 1]].tolist()
+            for v in range(num_vertices)
+        ]
+        graph._in = [
+            in_edge_ids[in_indptr[v] : in_indptr[v + 1]].tolist()
+            for v in range(num_vertices)
+        ]
+        graph._csr = CSRAdjacency(
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            edge_sources=sources,
+            edge_targets=targets,
+            out_indptr=out_indptr,
+            out_targets=np.asarray(arrays["out_targets"], dtype=np.int64),
+            out_edge_ids=out_edge_ids,
+            in_indptr=in_indptr,
+            in_sources=np.asarray(arrays["in_sources"], dtype=np.int64),
+            in_edge_ids=in_edge_ids,
+        )
+        graph._version = version
+        return graph
+
     # ------------------------------------------------------------- construction
     @classmethod
     def from_edges(

@@ -129,6 +129,11 @@ class DelayedMaterializationIndex:
         with the same ``seed`` over equal containment counts produce
         identical estimates (this is what the serving layer and the
         roundtrip tests rely on).
+
+        ``arrays`` may be read-only ``numpy.memmap`` views (what
+        :meth:`IndexStore.open_mapped` hands a process replica): the counts
+        are copied into a plain dict and the mapped arrays are never
+        mutated, so one mapped file can back many worker processes.
         """
         index = cls(graph, int(arrays["num_samples"][0]), seed=seed)
         users = np.asarray(arrays["containment_users"], dtype=np.int64)

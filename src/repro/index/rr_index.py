@@ -178,6 +178,12 @@ class RRGraphIndex:
         version (the usual staleness rule of :attr:`is_built`).  The rebuilt
         containment lists are identical to the originals because graphs are
         replayed in materialization order.
+
+        ``arrays`` may be read-only ``numpy.memmap`` views (what
+        :meth:`IndexStore.open_mapped` hands a process replica): every value
+        is *read* -- sliced, ``tolist()``'d or copied into per-graph Python
+        lists -- and never written, so a single mapped file can back many
+        worker processes at once without copy-on-write faults.
         """
         roots = np.asarray(arrays["roots"], dtype=np.int64)
         index = cls(graph, int(arrays["num_samples"][0]))

@@ -15,9 +15,26 @@ that asymmetry across process and query boundaries:
 * :mod:`repro.serve.replay` -- workload replay: fire a seeded
   :meth:`QueryWorkload.query_stream` at a service and report a latency table
   (the ``pitex serve-replay`` command and ``bench_serving`` driver).
+* :mod:`repro.serve.sharded` -- :class:`ProcessShardedService`: the
+  process-pool backend -- one frozen engine replica per worker process,
+  reconstructed from read-only ``mmap``'d store arrays, bitwise-equal to the
+  thread backend (see ``docs/architecture.md``).
+
+Safety contracts (details in each module's docstring): the store is safe to
+share across threads *and* processes; the cache, both services and the
+metrics objects are thread-safe; engines themselves are only safe for
+concurrent queries once frozen.
 """
 
-from repro.serve.store import IndexStore, StoreEntry, index_cache_key, KIND_DELAYED, KIND_RR
+from repro.serve.store import (
+    IndexStore,
+    StoreEntry,
+    graph_bundle_key,
+    index_cache_key,
+    KIND_DELAYED,
+    KIND_RR,
+    KIND_SHARED_GRAPH,
+)
 from repro.serve.cache import EngineCache, EngineCacheStats
 from repro.serve.service import (
     DEFAULT_ENGINE_KEY,
@@ -27,13 +44,21 @@ from repro.serve.service import (
     ServiceMetrics,
 )
 from repro.serve.replay import ReplayReport, replay_stream
+from repro.serve.sharded import (
+    EngineSpec,
+    ProcessShardedService,
+    build_engine_from_spec,
+    publish_engine_spec,
+)
 
 __all__ = [
     "IndexStore",
     "StoreEntry",
+    "graph_bundle_key",
     "index_cache_key",
     "KIND_RR",
     "KIND_DELAYED",
+    "KIND_SHARED_GRAPH",
     "EngineCache",
     "EngineCacheStats",
     "DEFAULT_ENGINE_KEY",
@@ -43,4 +68,8 @@ __all__ = [
     "ServiceMetrics",
     "ReplayReport",
     "replay_stream",
+    "EngineSpec",
+    "ProcessShardedService",
+    "build_engine_from_spec",
+    "publish_engine_spec",
 ]

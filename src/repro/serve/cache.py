@@ -23,6 +23,12 @@ requests concurrently without the service's per-engine lock.  Pass
 ``freeze_methods`` to warm only the methods a deployment actually serves.
 ``put`` never freezes -- callers inserting an engine directly keep full
 control over its lifecycle.
+
+The cache is **process-local** by design: warm engines hold live numpy
+arrays and locks, so nothing here is shared across processes.  Replicas in
+other processes warm themselves from the :class:`~repro.serve.store.IndexStore`
+instead (see :mod:`repro.serve.sharded`), which is the cross-process
+equivalent of a cache hit.
 """
 
 from __future__ import annotations

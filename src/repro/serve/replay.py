@@ -11,6 +11,7 @@ table helper.  This is the measurement loop behind ``pitex serve-replay`` and
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
@@ -25,11 +26,14 @@ from repro.utils.stats import LatencyAccumulator
 class ReplayReport:
     """Outcome of one replay run: responses plus aggregated latency stats.
 
-    ``num_workers`` and ``mode`` record *how* the run executed --
+    ``num_workers``, ``mode`` and ``backend`` record *how* the run executed --
     ``"frozen-parallel"`` (read-only engine, no per-engine lock, requests fan
-    across the pool) vs ``"serial"`` (unfrozen engine behind its identity
-    lock) -- so a persisted latency artifact is self-describing: two reports
-    are only comparable when both axes match.
+    across the thread pool), ``"serial"`` (unfrozen engine behind its
+    identity lock) or ``"process-sharded"`` (one frozen replica per worker
+    process) -- so a persisted latency artifact is self-describing: two
+    reports are only comparable when all axes match.  ``host_cores`` stamps
+    the machine's CPU count, which is what makes a 1-core CI artifact next to
+    a skipped speedup gate self-explaining.
     """
 
     method: str
@@ -37,6 +41,8 @@ class ReplayReport:
     wall_seconds: float
     num_workers: int = 1
     mode: str = "serial"
+    backend: str = "thread"
+    host_cores: int = field(default_factory=lambda: int(os.cpu_count() or 1))
     responses: List[QueryResponse] = field(default_factory=list)
     overall: LatencyAccumulator = field(default_factory=lambda: LatencyAccumulator(label="all"))
     by_group: Dict[str, LatencyAccumulator] = field(default_factory=dict)
@@ -65,7 +71,8 @@ class ReplayReport:
         )
         result.add_note(
             f"wall={self.wall_seconds:.3f}s throughput={self.throughput_qps:.1f} qps "
-            f"failures={self.failures} workers={self.num_workers} mode={self.mode}"
+            f"failures={self.failures} workers={self.num_workers} mode={self.mode} "
+            f"backend={self.backend} cores={self.host_cores}"
         )
         return result
 
@@ -76,6 +83,8 @@ class ReplayReport:
             "num_queries": self.num_queries,
             "num_workers": self.num_workers,
             "mode": self.mode,
+            "backend": self.backend,
+            "host_cores": self.host_cores,
             "wall_seconds": self.wall_seconds,
             "throughput_qps": self.throughput_qps,
             "failures": self.failures,
@@ -120,6 +129,7 @@ def replay_stream(
         wall_seconds=wall,
         num_workers=service.num_workers,
         mode=service.execution_mode(engine_key),
+        backend=getattr(service, "backend", "thread"),
         responses=responses,
     )
     for response in responses:

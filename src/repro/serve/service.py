@@ -89,6 +89,11 @@ class ServiceMetrics:
         self.queue_wait = LatencyAccumulator(label="queue")
         self.execution = LatencyAccumulator(label="execute")
         self.by_group: Dict[str, LatencyAccumulator] = {}
+        # Per-worker-process execution shards (process backend only): each
+        # worker measures its own execute latencies and ships the accumulator
+        # at shutdown; merged here via the exact Chan/reservoir merge.
+        self.worker_shards: Dict[str, LatencyAccumulator] = {}
+        self.worker_execution = LatencyAccumulator(label="worker-execute")
         self.completed = 0
         self.failed = 0
         self.batches = 0
@@ -116,6 +121,20 @@ class ServiceMetrics:
         with self._lock:
             self.batches += 1
 
+    def record_worker_shard(self, shard: LatencyAccumulator) -> None:
+        """Merge one worker process's execution-latency shard.
+
+        Kept separate from :attr:`execution` (which the parent records from
+        its own clock as responses arrive) so worker- and parent-side views
+        never double count; :meth:`snapshot` reports both.  The merge is
+        exact for the moments (Chan's parallel formula) and
+        reservoir-weighted for the percentile samples --
+        :meth:`repro.utils.stats.LatencyAccumulator.merge`.
+        """
+        with self._lock:
+            self.worker_shards[shard.label] = shard
+            self.worker_execution.merge(shard)
+
     def snapshot(self) -> dict:
         """A JSON-friendly snapshot: counts, tails and throughput."""
         with self._lock:
@@ -131,6 +150,10 @@ class ServiceMetrics:
                 "queue": self.queue_wait.summary(),
                 "execute": self.execution.summary(),
                 "groups": {name: acc.summary() for name, acc in sorted(self.by_group.items())},
+                "worker_shards": {
+                    name: acc.summary() for name, acc in sorted(self.worker_shards.items())
+                },
+                "worker_execute": self.worker_execution.summary(),
             }
 
 
@@ -160,6 +183,8 @@ class PitexService:
         Upper bound on how many same-engine requests one worker claims at
         once.
     """
+
+    backend = "thread"
 
     def __init__(
         self,

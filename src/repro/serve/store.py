@@ -20,10 +20,24 @@ makes the cold-process ``pitex serve-replay`` warm start work.
 Layout on disk (one directory per entry)::
 
     <root>/<key>/manifest.json   # provenance + integrity fields
-    <root>/<key>/arrays.npz      # the index's flat arrays
+    <root>/<key>/arrays.npz      # the entry's flat arrays
+    <root>/<key>/mapped/*.npy    # optional mmap sidecars (see open_mapped)
 
 Writes go through a temporary directory and a final atomic rename, so a
 crashed writer can never leave a half-entry that a later load would trust.
+
+Beyond the two index kinds, the store also persists *shared graph bundles*
+(``kind="shared-graph"``): the CSR adjacency arrays, the probability matrix
+and the tag-topic model of one dataset, keyed on graph fingerprint + model
+hash.  Bundles are what the process-sharded serving backend
+(:mod:`repro.serve.sharded`) hands to worker processes, which reconstruct
+engine replicas from the ``mapped/`` sidecars via
+``np.load(..., mmap_mode="r")`` -- the float payload is then shared
+page-cache memory across every worker instead of N copies.
+
+Thread/process safety: the store holds no in-memory state beyond ``root``;
+every method re-reads the disk, and writes are atomic-rename idempotent, so
+any number of threads or processes may share one store directory.
 """
 
 from __future__ import annotations
@@ -40,7 +54,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, StoreError
 from repro.graph.digraph import TopicSocialGraph
 from repro.index.delayed import DelayedMaterializationIndex
 from repro.index.rr_index import RRGraphIndex
@@ -51,10 +65,12 @@ from repro.utils.timer import Stopwatch
 FORMAT_VERSION = 1
 KIND_RR = "rr-graphs"
 KIND_DELAYED = "delaymat"
+KIND_SHARED_GRAPH = "shared-graph"
 KINDS = (KIND_RR, KIND_DELAYED)
 
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
+MAPPED_DIR_NAME = "mapped"
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,15 @@ def index_cache_key(
     digest.update(f"format={FORMAT_VERSION};kind={kind};".encode())
     digest.update(f"graph={graph.fingerprint()};version={graph.version};".encode())
     digest.update(f"model={model.content_hash()};theta={int(num_samples)}".encode())
+    return digest.hexdigest()[:32]
+
+
+def graph_bundle_key(graph: TopicSocialGraph, model: TagTopicModel) -> str:
+    """The store key of the shared graph+model bundle for (graph, model)."""
+    digest = sha256()
+    digest.update(f"format={FORMAT_VERSION};kind={KIND_SHARED_GRAPH};".encode())
+    digest.update(f"graph={graph.fingerprint()};version={graph.version};".encode())
+    digest.update(f"model={model.content_hash()}".encode())
     return digest.hexdigest()[:32]
 
 
@@ -147,6 +172,32 @@ class IndexStore:
         return removed
 
     # ------------------------------------------------------------------- save
+    def _write_entry(self, key: str, manifest: Dict, arrays: Dict[str, np.ndarray]) -> StoreEntry:
+        """Write one entry (manifest + npz) through a staging dir + atomic rename."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = self.root / f".tmp-{key}-{uuid.uuid4().hex[:8]}"
+        staging.mkdir(parents=True)
+        final = self.entry_path(key)
+        try:
+            with open(staging / ARRAYS_NAME, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+            (staging / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
+            if final.exists():
+                shutil.rmtree(final)
+            try:
+                os.replace(staging, final)
+            except OSError:
+                # A concurrent writer landed the same key between our rmtree
+                # and replace.  Same key => same content; their entry is as
+                # good as ours, so treat the save as idempotent.
+                if not (final / MANIFEST_NAME).is_file():
+                    raise
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        return StoreEntry(
+            key=key, kind=manifest["kind"], path=self.entry_path(key), manifest=manifest
+        )
+
     def _save(
         self,
         kind: str,
@@ -171,27 +222,7 @@ class IndexStore:
             "created_unix": time.time(),
             "arrays_file": ARRAYS_NAME,
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        staging = self.root / f".tmp-{key}-{uuid.uuid4().hex[:8]}"
-        staging.mkdir(parents=True)
-        final = self.entry_path(key)
-        try:
-            with open(staging / ARRAYS_NAME, "wb") as handle:
-                np.savez_compressed(handle, **arrays)
-            (staging / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2, sort_keys=True))
-            if final.exists():
-                shutil.rmtree(final)
-            try:
-                os.replace(staging, final)
-            except OSError:
-                # A concurrent writer landed the same key between our rmtree
-                # and replace.  Same key => same content; their entry is as
-                # good as ours, so treat the save as idempotent.
-                if not (final / MANIFEST_NAME).is_file():
-                    raise
-        finally:
-            shutil.rmtree(staging, ignore_errors=True)
-        return StoreEntry(key=key, kind=kind, path=self.entry_path(key), manifest=manifest)
+        return self._write_entry(key, manifest, arrays)
 
     def save_rr_index(self, index: RRGraphIndex, model: TagTopicModel) -> StoreEntry:
         """Persist a built RR-Graph index."""
@@ -205,9 +236,52 @@ class IndexStore:
             KIND_DELAYED, index.graph, model, index.num_samples, index.to_arrays(), index.build_seconds
         )
 
+    # ------------------------------------------------------------------ mapped
+    def open_mapped(self, key: str) -> Dict[str, np.ndarray]:
+        """Read-only memory-mapped views of one entry's arrays.
+
+        ``np.load(..., mmap_mode="r")`` cannot map members of an ``npz``
+        archive (compressed or not), so on first call the members are
+        extracted once into ``<entry>/mapped/<name>.npy`` sidecars -- written
+        to a staging directory and landed with an atomic rename, so
+        concurrent extractors (N forking workers) race benignly.  Every later
+        call maps the sidecars directly: the arrays live in the page cache
+        exactly once no matter how many processes open them.
+        """
+        entry = self.entry_path(key)
+        arrays_path = entry / ARRAYS_NAME
+        mapped_dir = entry / MAPPED_DIR_NAME
+        if not mapped_dir.is_dir():
+            if not arrays_path.is_file():
+                raise StoreError(f"store entry {key!r} has no {ARRAYS_NAME} to map")
+            staging = entry / f".tmp-{MAPPED_DIR_NAME}-{uuid.uuid4().hex[:8]}"
+            staging.mkdir(parents=True)
+            try:
+                with np.load(arrays_path) as payload:
+                    for name in payload.files:
+                        np.save(staging / f"{name}.npy", payload[name], allow_pickle=False)
+                try:
+                    os.replace(staging, mapped_dir)
+                except OSError:
+                    # Another process landed the extraction first; same
+                    # source npz => same sidecars, use theirs.
+                    if not mapped_dir.is_dir():
+                        raise
+            finally:
+                shutil.rmtree(staging, ignore_errors=True)
+        mapped: Dict[str, np.ndarray] = {}
+        for path in sorted(mapped_dir.glob("*.npy")):
+            mapped[path.stem] = np.load(path, mmap_mode="r", allow_pickle=False)
+        return mapped
+
     # ------------------------------------------------------------------- load
     def _load_arrays(
-        self, kind: str, graph: TopicSocialGraph, model: TagTopicModel, num_samples: int
+        self,
+        kind: str,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        num_samples: int,
+        mmap: bool = False,
     ) -> Optional[Tuple[Dict[str, np.ndarray], Dict]]:
         key = index_cache_key(kind, graph, model, num_samples)
         entry = self.entry_path(key)
@@ -231,17 +305,30 @@ class IndexStore:
             return None
         arrays_path = entry / manifest.get("arrays_file", ARRAYS_NAME)
         try:
-            with np.load(arrays_path) as payload:
-                arrays = {name: payload[name] for name in payload.files}
-        except (OSError, ValueError):
+            if mmap:
+                arrays = self.open_mapped(key)
+            else:
+                with np.load(arrays_path) as payload:
+                    arrays = {name: payload[name] for name in payload.files}
+        except (OSError, ValueError, StoreError):
             return None
         return arrays, manifest
 
     def load_rr_index(
-        self, graph: TopicSocialGraph, model: TagTopicModel, num_samples: int
+        self,
+        graph: TopicSocialGraph,
+        model: TagTopicModel,
+        num_samples: int,
+        mmap: bool = False,
     ) -> Optional[RRGraphIndex]:
-        """The stored RR-Graph index for (graph, model, theta), or ``None``."""
-        loaded = self._load_arrays(KIND_RR, graph, model, num_samples)
+        """The stored RR-Graph index for (graph, model, theta), or ``None``.
+
+        With ``mmap=True`` the flat sample arrays are memory-mapped read-only
+        through :meth:`open_mapped` instead of decompressed into fresh
+        buffers; the reconstructed index answers bitwise-identically either
+        way (covered by ``tests/test_serve_process.py``).
+        """
+        loaded = self._load_arrays(KIND_RR, graph, model, num_samples, mmap=mmap)
         if loaded is None:
             return None
         arrays, manifest = loaded
@@ -258,9 +345,10 @@ class IndexStore:
         model: TagTopicModel,
         num_samples: int,
         seed: SeedLike = None,
+        mmap: bool = False,
     ) -> Optional[DelayedMaterializationIndex]:
         """The stored delayed index for (graph, model, theta), or ``None``."""
-        loaded = self._load_arrays(KIND_DELAYED, graph, model, num_samples)
+        loaded = self._load_arrays(KIND_DELAYED, graph, model, num_samples, mmap=mmap)
         if loaded is None:
             return None
         arrays, manifest = loaded
@@ -314,3 +402,71 @@ class IndexStore:
         self.save_delayed_index(index, model)
         watch.stop()
         return index, False, watch.elapsed
+
+    # --------------------------------------------------- shared graph bundles
+    def save_graph_bundle(self, graph: TopicSocialGraph, model: TagTopicModel) -> StoreEntry:
+        """Persist (graph, model) as a shared bundle; returns its entry.
+
+        The bundle holds :meth:`TopicSocialGraph.to_shared_arrays` plus the
+        model's matrix / prior / tag vocabulary, and is keyed by
+        :func:`graph_bundle_key`.  Saving is idempotent: re-saving identical
+        content lands on the same key.
+        """
+        arrays: Dict[str, np.ndarray] = dict(graph.to_shared_arrays())
+        arrays["model_matrix"] = np.ascontiguousarray(model.tag_topic_matrix, dtype=float)
+        arrays["model_prior"] = np.ascontiguousarray(model.topic_prior, dtype=float)
+        arrays["model_tags"] = np.asarray(model.tags, dtype=np.str_)
+        key = graph_bundle_key(graph, model)
+        manifest = {
+            "format": FORMAT_VERSION,
+            "kind": KIND_SHARED_GRAPH,
+            "key": key,
+            "graph_fingerprint": graph.fingerprint(),
+            "graph_version": graph.version,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "num_topics": graph.num_topics,
+            "model_hash": model.content_hash(),
+            "created_unix": time.time(),
+            "arrays_file": ARRAYS_NAME,
+        }
+        return self._write_entry(key, manifest, arrays)
+
+    def load_graph_bundle(
+        self, key: str, mmap: bool = True
+    ) -> Tuple[TopicSocialGraph, TagTopicModel, Dict]:
+        """Reconstruct the (graph, model) of a shared bundle entry.
+
+        With ``mmap=True`` (the default -- this is the worker-process path)
+        the CSR arrays and both float matrices are read-only memory maps
+        shared across every process that opens the same bundle.  The
+        reconstructed graph fingerprint and model content hash are verified
+        against the manifest; a mismatch raises :class:`StoreError` rather
+        than letting a corrupt bundle serve subtly wrong answers.
+        """
+        entry = self.entry_path(key)
+        manifest_path = entry / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise StoreError(f"no shared graph bundle with key {key!r} in {self.root}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("kind") != KIND_SHARED_GRAPH or manifest.get("format") != FORMAT_VERSION:
+            raise StoreError(
+                f"store entry {key!r} is kind={manifest.get('kind')!r} "
+                f"format={manifest.get('format')!r}, not a shared graph bundle"
+            )
+        if mmap:
+            arrays = self.open_mapped(key)
+        else:
+            with np.load(entry / manifest.get("arrays_file", ARRAYS_NAME)) as payload:
+                arrays = {name: payload[name] for name in payload.files}
+        graph = TopicSocialGraph.from_shared_arrays(arrays)
+        model = TagTopicModel.from_shared_arrays(
+            arrays["model_matrix"],
+            arrays["model_prior"],
+            [str(tag) for tag in arrays["model_tags"]],
+        )
+        if graph.fingerprint() != manifest.get("graph_fingerprint"):
+            raise StoreError(f"bundle {key!r}: reconstructed graph fingerprint mismatch")
+        if model.content_hash() != manifest.get("model_hash"):
+            raise StoreError(f"bundle {key!r}: reconstructed model hash mismatch")
+        return graph, model, manifest

@@ -76,6 +76,33 @@ class TagTopicModel:
         self._jensen_ratios: Optional[np.ndarray] = None
         self._content_hash: Optional[str] = None
 
+    # ----------------------------------------------------- shared-array codec
+    @classmethod
+    def from_shared_arrays(
+        cls,
+        tag_topic_matrix: Sequence[Sequence[float]],
+        topic_prior: Sequence[float],
+        tags: Sequence[str],
+    ) -> "TagTopicModel":
+        """Rebuild a model from persisted arrays, bitwise-exactly.
+
+        The constructor re-normalizes any explicit ``topic_prior``; feeding an
+        already-normalized persisted prior back through that division can
+        perturb its last bits (e.g. the uniform prior over 3 topics sums to
+        ``0.999...``), which would change :meth:`content_hash` and break the
+        cross-process replica contract of :mod:`repro.serve.sharded`.  This
+        path restores the prior verbatim instead -- the caller asserts it was
+        taken from a model's :attr:`topic_prior`, i.e. already normalized.
+        """
+        model = cls(tag_topic_matrix, topic_prior=None, tags=list(tags))
+        prior = np.asarray(topic_prior, dtype=float)
+        if prior.shape != (model.num_topics,):
+            raise ModelError(
+                f"topic_prior must have length {model.num_topics}, got {prior.shape}"
+            )
+        model._prior = prior
+        return model
+
     # ------------------------------------------------------------------ sizes
     @property
     def num_tags(self) -> int:

@@ -1,0 +1,41 @@
+"""Tier-1 wrapper around the docs honesty checker (``tools/check_docs.py``).
+
+Runs the same two checks as the CI ``docs`` job -- internal markdown links
+resolve, and every ``pitex`` flag the operations runbook documents exists on
+the real CLI parser -- so docs rot fails the test suite, not just CI.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_handbook_exists():
+    for name in ("architecture.md", "operations.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))
+
+
+def test_docs_links_and_cli_flags_are_honest(capsys):
+    checker = load_checker()
+    status = checker.main()
+    output = capsys.readouterr().out
+    assert status == 0, f"docs check found problems:\n{output}"
+
+
+def test_flag_checker_catches_an_unknown_flag(tmp_path):
+    checker = load_checker()
+    known = checker.pitex_flags()
+    assert "--backend" in known and "--workers" in known
+    rogue = tmp_path / "operations.md"
+    rogue.write_text("run `pitex serve-replay --no-such-flag`\n")
+    found = checker.documented_pitex_flags(str(rogue))
+    assert (1, "--no-such-flag") in found

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Docs honesty checker: internal links resolve, documented flags exist.
+
+Two stdlib-only checks over ``README.md`` and ``docs/*.md`` (the CI ``docs``
+job and ``tests/test_docs.py`` both run them):
+
+1. **Internal links** -- every relative markdown link target must exist on
+   disk, and every ``#anchor`` (bare or ``file.md#anchor``) must match a
+   heading in the target file, using GitHub's slug rules (lowercase,
+   punctuation stripped, spaces to hyphens).  External ``http(s)``/``mailto``
+   links are skipped: CI must not depend on the network.
+
+2. **CLI flags** -- every ``--flag`` the operations runbook shows in a
+   ``pitex`` invocation (fenced code blocks, following shell line
+   continuations) or names in inline code must exist on some ``pitex``
+   subcommand, resolved from the real ``repro.cli`` parser -- never a
+   hardcoded list, so a renamed flag fails CI instead of rotting the docs.
+   Non-``pitex`` commands in the same blocks (pytest, ruff, pitexlint) are
+   ignored.
+
+Exit status 0 when clean; findings print as ``file:line: message``.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+
+
+def doc_files():
+    """README plus every markdown file under docs/."""
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def heading_slugs(path):
+    """GitHub-style anchor slugs for every markdown heading in ``path``."""
+    slugs = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence or not line.startswith("#"):
+                continue
+            text = line.lstrip("#").strip()
+            text = re.sub(r"[*_`\[\]()]", "", text)
+            slug = re.sub(r"[^\w\- ]", "", text.lower()).strip().replace(" ", "-")
+            slugs.add(slug)
+    return slugs
+
+
+def check_links(path, problems):
+    """Every relative link target (and anchor) in ``path`` must resolve."""
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = path if not file_part else os.path.normpath(
+                os.path.join(base, file_part)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{rel(path)}:{number}: broken link target {target!r}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor not in heading_slugs(resolved):
+                    problems.append(
+                        f"{rel(path)}:{number}: anchor #{anchor} not found in {rel(resolved)}"
+                    )
+
+
+def pitex_flags():
+    """Every option string of every ``pitex`` subcommand, from the real parser."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.cli import _build_parser
+
+    flags = set()
+    parser = _build_parser()
+    stack = [parser]
+    while stack:
+        current = stack.pop()
+        for action in current._actions:
+            flags.update(option for option in action.option_strings if option.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                stack.extend(action.choices.values())
+    return flags
+
+
+def documented_pitex_flags(path):
+    """(line, flag) pairs the runbook ties to ``pitex``.
+
+    Fenced code blocks: flags on lines that belong to a ``pitex`` invocation
+    (including backslash continuations).  Prose: flags inside inline code
+    spans -- the runbook only inline-codes flags of the ``pitex`` CLI.
+    """
+    found = []
+    in_fence = False
+    continuing_pitex = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if stripped.startswith("```"):
+                in_fence = not in_fence
+                continuing_pitex = False
+                continue
+            if in_fence:
+                is_pitex = stripped.startswith("pitex ") or continuing_pitex
+                if is_pitex:
+                    found.extend((number, flag) for flag in FLAG_RE.findall(stripped))
+                continuing_pitex = is_pitex and stripped.endswith("\\")
+            else:
+                for span in INLINE_CODE_RE.findall(line):
+                    found.extend((number, flag) for flag in FLAG_RE.findall(span))
+    return found
+
+
+def check_flags(path, problems):
+    """Every documented pitex flag must exist on some subcommand."""
+    known = pitex_flags()
+    for number, flag in documented_pitex_flags(path):
+        if flag not in known:
+            problems.append(
+                f"{rel(path)}:{number}: flag {flag} does not exist on any pitex subcommand"
+            )
+
+
+def rel(path):
+    return os.path.relpath(path, REPO_ROOT)
+
+
+def main():
+    """Run both checks; return a process exit status."""
+    problems = []
+    for path in doc_files():
+        check_links(path, problems)
+    operations = os.path.join(REPO_ROOT, "docs", "operations.md")
+    if os.path.exists(operations):
+        check_flags(operations, problems)
+    else:
+        problems.append("docs/operations.md: missing (the flag check has nothing to verify)")
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"docs check: {len(doc_files())} files clean")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
