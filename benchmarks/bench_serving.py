@@ -19,7 +19,12 @@ Three shape assertions back the serving subsystem (``repro.serve``):
   arrays -- is bitwise equal to the single-worker thread oracle, and its
   N-worker throughput clears the same speedup gate where cores allow.  Unlike
   the thread sweep, process workers escape the GIL, so this is the leg
-  expected to actually scale on multi-core hosts.
+  expected to actually scale on multi-core hosts.  The merged deterministic
+  telemetry counters (``docs/observability.md``) must equal the oracle's at
+  any worker count;
+* the observability tax: a traced frozen replay answers bitwise identically
+  to an untraced one, and the measured throughput overhead of span recording
+  lands in the JSON artifact (``trace_overhead.overhead_fraction``).
 
 The latency/throughput report is also written as JSON -- to the path in the
 ``PITEX_SERVING_REPORT`` environment variable (default
@@ -36,6 +41,7 @@ from repro.bench.reporting import format_table
 from repro.core.engine import PitexEngine
 from repro.datasets.synthetic import load_dataset
 from repro.index.rr_index import RRGraphIndex
+from repro.obs.trace import TraceRecorder, install_recorder
 from repro.serve.replay import replay_stream
 from repro.serve.service import PitexService
 from repro.serve.sharded import ProcessShardedService, publish_engine_spec
@@ -264,6 +270,7 @@ def test_process_backend_matches_thread_oracle_and_scales(
     ).freeze(methods=["indexest+"], ks=[2])
     with PitexService.for_engine(oracle_engine, num_workers=1, max_batch=4) as service:
         oracle = replay_stream(service, stream, method="indexest+", k=2)
+    oracle_deterministic = service.metrics.telemetry()["deterministic"]
     assert oracle.failures == 0
 
     # Process backend: replicas rebuilt in workers from the mmap'd store.
@@ -280,9 +287,12 @@ def test_process_backend_matches_thread_oracle_and_scales(
         index_seed=harness_seed(serving_dataset),
     )
     reports = {}
+    deterministic = {}
     for pool_size in (1, workers):
         with ProcessShardedService(spec, num_workers=pool_size) as service:
             reports[pool_size] = replay_stream(service, stream, method="indexest+", k=2)
+        # Worker telemetry shards ship at close, so capture afterwards.
+        deterministic[pool_size] = service.metrics.telemetry()["deterministic"]
 
     def answers(report):
         return [
@@ -297,6 +307,13 @@ def test_process_backend_matches_thread_oracle_and_scales(
         assert answers(report) == answers(oracle), (
             f"{pool_size}-worker process replay diverged from the thread oracle"
         )
+        # The telemetry contract mirrors the answer contract: the merged
+        # algorithmic-work counters are identical to the thread oracle's at
+        # any worker count.
+        assert deterministic[pool_size] == oracle_deterministic, (
+            f"{pool_size}-worker process telemetry diverged from the thread oracle"
+        )
+    assert oracle_deterministic["query.count"] == REPLAY_QUERIES
 
     speedup = reports[workers].throughput_qps / reports[1].throughput_qps
     print(
@@ -314,6 +331,7 @@ def test_process_backend_matches_thread_oracle_and_scales(
         f"throughput_{workers}": reports[workers].throughput_qps,
         "speedup": speedup,
         "bitwise_equal_to_thread_oracle": True,
+        "telemetry_deterministic_equal": True,
     }
     cores = os.cpu_count() or 1
     if cores < MIN_CORES_FOR_SPEEDUP_GATE or MIN_PARALLEL_SPEEDUP <= 0:
@@ -326,6 +344,81 @@ def test_process_backend_matches_thread_oracle_and_scales(
         f"{workers}-worker process replay reached only {speedup:.2f}x over one worker "
         f"(gate: >= {MIN_PARALLEL_SPEEDUP}x; processes are not GIL-bound)"
     )
+
+
+def test_trace_overhead_is_small_and_recorded(
+    serving_dataset, serving_store, report_payload, harness
+):
+    """Tracing costs ~nothing when disabled and little when enabled.
+
+    The disabled path is a single global read returning a shared null span
+    (no recorder installed -- the default for every other test in this
+    file), so the replays above already measure the no-tracing cost.  This
+    test replays the same frozen stream twice -- recorder installed vs not
+    -- checks that tracing never perturbs answers (spans observe, never
+    steer), and records the measured throughput overhead fraction in the
+    JSON artifact.  The overhead is *recorded*, not gated with a tight
+    timing assert: single-round wall times on a shared CI host are too
+    noisy, and the artifact is the reviewable evidence.
+    """
+    graph, model = serving_dataset.graph, serving_dataset.model
+    loaded, _, _ = serving_store.load_or_build_rr(
+        graph, model, INDEX_SAMPLES, seed=harness_seed(serving_dataset)
+    )
+    engine = PitexEngine(
+        graph,
+        model,
+        max_samples=harness.config.max_samples,
+        index_samples=INDEX_SAMPLES,
+        default_k=2,
+        seed=harness.config.seed,
+        rr_index=loaded,
+    ).freeze(methods=["indexest+"])
+    stream = serving_dataset.query_workload.query_stream(
+        REPLAY_QUERIES, seed=harness.config.seed
+    )
+
+    def run_replay():
+        with PitexService.for_engine(engine, num_workers=2, max_batch=4) as service:
+            return replay_stream(service, stream, method="indexest+", k=2)
+
+    untraced = run_replay()
+    recorder = TraceRecorder()
+    previous = install_recorder(recorder)
+    try:
+        traced = run_replay()
+    finally:
+        install_recorder(previous)
+
+    for report in (untraced, traced):
+        assert report.failures == 0
+    spans = recorder.spans()
+    assert len(spans) == REPLAY_QUERIES
+    assert all(span["span"] == "execute" and span["seconds"] >= 0.0 for span in spans)
+    answers = lambda rep: [  # noqa: E731
+        (r.request.user, r.result.tag_ids, r.result.spread) for r in rep.responses
+    ]
+    assert answers(traced) == answers(untraced), "tracing perturbed the answers"
+
+    overhead = (
+        (traced.wall_seconds - untraced.wall_seconds) / untraced.wall_seconds
+        if untraced.wall_seconds > 0
+        else 0.0
+    )
+    print(
+        f"\ntrace overhead: untraced {untraced.throughput_qps:.1f} qps vs "
+        f"traced {traced.throughput_qps:.1f} qps ({overhead:+.1%} wall time, "
+        f"{len(spans)} spans)"
+    )
+    report_payload["trace_overhead"] = {
+        "method": "indexest+",
+        "num_queries": REPLAY_QUERIES,
+        "untraced_throughput_qps": untraced.throughput_qps,
+        "traced_throughput_qps": traced.throughput_qps,
+        "overhead_fraction": overhead,
+        "spans_recorded": len(spans),
+        "bitwise_equal": True,
+    }
 
 
 def harness_seed(dataset) -> int:

@@ -121,6 +121,14 @@ def _build_parser() -> argparse.ArgumentParser:
              "across all workers concurrently instead of serializing behind "
              "the per-engine lock (always on for --backend process)",
     )
+    replay.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record one structured span per executed query and write them "
+             "as JSON Lines to PATH (works on both backends; process workers "
+             "ship their spans back at shutdown)",
+    )
     replay.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
     return parser
 
@@ -234,6 +242,7 @@ def _run_index_build(args: argparse.Namespace) -> int:
 
 
 def _run_serve_replay(args: argparse.Namespace) -> int:
+    from repro.obs.trace import TraceRecorder, install_recorder
     from repro.serve.replay import replay_stream
     from repro.serve.service import PitexService
     from repro.serve.sharded import ProcessShardedService, publish_engine_spec
@@ -261,49 +270,63 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             index_info.append(("delaymat", loaded, seconds))
     stream_seed = args.stream_seed if args.stream_seed is not None else args.seed
     stream = dataset.query_workload.query_stream(args.num_queries, seed=stream_seed)
-    if args.backend == "process":
-        # One frozen replica per worker process, rebuilt from the store's
-        # mmap'd arrays; bitwise-equal to the thread backend by the stateless
-        # (seed, query fingerprint) derivation.  Freezing is implicit.
-        spec = publish_engine_spec(
-            store,
-            graph,
-            model,
-            engine_seed=args.seed,
-            index_samples=args.index_samples,
-            methods=(args.method,),
-            ks=(args.k,),
-            epsilon=args.epsilon,
-            delta=args.delta,
-            max_samples=args.max_samples,
-            default_k=args.k,
-            index_seed=args.seed,
-        )
-        with ProcessShardedService(spec, num_workers=args.workers) as service:
-            report = replay_stream(service, stream, method=args.method, k=args.k)
+    recorder = previous_recorder = None
+    if args.trace:
+        recorder = TraceRecorder()
+        previous_recorder = install_recorder(recorder)
+    try:
+        if args.backend == "process":
+            # One frozen replica per worker process, rebuilt from the store's
+            # mmap'd arrays; bitwise-equal to the thread backend by the
+            # stateless (seed, query fingerprint) derivation.  Freezing is
+            # implicit.
+            spec = publish_engine_spec(
+                store,
+                graph,
+                model,
+                engine_seed=args.seed,
+                index_samples=args.index_samples,
+                methods=(args.method,),
+                ks=(args.k,),
+                epsilon=args.epsilon,
+                delta=args.delta,
+                max_samples=args.max_samples,
+                default_k=args.k,
+                index_seed=args.seed,
+            )
+            with ProcessShardedService(spec, num_workers=args.workers) as service:
+                report = replay_stream(service, stream, method=args.method, k=args.k)
+        else:
+            engine = PitexEngine(
+                graph,
+                model,
+                epsilon=args.epsilon,
+                delta=args.delta,
+                max_samples=args.max_samples,
+                index_samples=args.index_samples,
+                default_k=args.k,
+                seed=args.seed,
+                rr_index=rr_index,
+                delayed_index=delayed_index,
+            )
+            if args.freeze:
+                # Warm only the served method; the report's "mode" field
+                # records that the run executed on the lock-free frozen path.
+                engine.freeze(methods=[args.method], ks=[args.k])
+            with PitexService.for_engine(
+                engine, num_workers=args.workers, max_batch=args.max_batch
+            ) as service:
+                report = replay_stream(service, stream, method=args.method, k=args.k)
+        # Worker telemetry/span shards only arrive at close (the with-block
+        # exit), so the totals -- and the trace file -- are read afterwards.
+        report.telemetry = service.metrics.telemetry()
         document_metrics = service.metrics.snapshot()
-    else:
-        engine = PitexEngine(
-            graph,
-            model,
-            epsilon=args.epsilon,
-            delta=args.delta,
-            max_samples=args.max_samples,
-            index_samples=args.index_samples,
-            default_k=args.k,
-            seed=args.seed,
-            rr_index=rr_index,
-            delayed_index=delayed_index,
-        )
-        if args.freeze:
-            # Warm only the served method; the report's "mode" field records
-            # that the run executed on the lock-free frozen path.
-            engine.freeze(methods=[args.method], ks=[args.k])
-        with PitexService.for_engine(
-            engine, num_workers=args.workers, max_batch=args.max_batch
-        ) as service:
-            report = replay_stream(service, stream, method=args.method, k=args.k)
-        document_metrics = service.metrics.snapshot()
+    finally:
+        if recorder is not None:
+            install_recorder(previous_recorder)
+    trace_info = None
+    if recorder is not None:
+        trace_info = {"path": args.trace, "spans": recorder.write_jsonl(args.trace)}
     if args.json:
         document = report.to_json()
         document["dataset"] = args.dataset
@@ -313,6 +336,8 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             for kind, loaded, seconds in index_info
         ]
         document["service"] = document_metrics
+        if trace_info is not None:
+            document["trace"] = trace_info
         print(json.dumps(document, indent=2))
     else:
         print(f"dataset: {dataset.describe()}")
@@ -320,6 +345,8 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             action = "loaded from store" if loaded else "built and persisted"
             print(f"{kind}: {action} in {seconds:.3f}s")
         print(format_table(report.to_result()))
+        if trace_info is not None:
+            print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
     return 0 if report.failures == 0 else 1
 
 

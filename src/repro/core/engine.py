@@ -53,6 +53,7 @@ from repro.graph.digraph import TopicSocialGraph
 from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
 from repro.index.pruning import PrunedIndexEstimator
 from repro.index.rr_index import IndexEstimator, RRGraphIndex
+from repro.obs.telemetry import counter
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.sampling.lazy import LazyPropagationEstimator
 from repro.sampling.monte_carlo import MonteCarloEstimator
@@ -403,6 +404,7 @@ class PitexEngine:
         for obj in self._guarded_objects:
             attach_freeze_guard(obj, self._guard)
         self._guard.engage()
+        counter("engine.freeze")
         return self
 
     def thaw(self) -> "PitexEngine":
@@ -420,6 +422,7 @@ class PitexEngine:
         self._frozen = False
         self._frozen_methods = ()
         self._frozen_ks = ()
+        counter("engine.thaw")
         return self
 
     def query_fingerprint(
@@ -572,12 +575,30 @@ class PitexEngine:
                 from itertools import combinations
 
                 candidates = combinations(sorted(self.model.resolve_tags(candidate_tags)), query.k)
-                return explorer.explore(query, candidates)
-            return explorer.explore(query)
-        explorer = BestEffortExplorer(
-            self.model, estimator, keep_evaluations=keep_evaluations
-        )
-        return explorer.explore(query, candidate_tags)
+                result = explorer.explore(query, candidates)
+            else:
+                result = explorer.explore(query)
+        else:
+            explorer = BestEffortExplorer(
+                self.model, estimator, keep_evaluations=keep_evaluations
+            )
+            result = explorer.explore(query, candidate_tags)
+        self._record_query_telemetry(method, result)
+        return result
+
+    def _record_query_telemetry(self, method: str, result: PitexResult) -> None:
+        """Count one answered query's work in the telemetry registry.
+
+        Every ``query.*`` counter is a deterministic function of the seeded
+        query (see :data:`repro.obs.telemetry.DETERMINISTIC_PREFIXES`): the
+        per-method totals must come out exactly equal whichever serving
+        backend -- threads or sharded processes -- executed the queries.
+        """
+        name = method.lower()
+        counter("query.count")
+        counter(f"query.{name}.count")
+        counter(f"query.{name}.edges_visited", result.edges_visited)
+        counter(f"query.{name}.samples", result.samples_drawn)
 
     def estimate_influence(
         self,

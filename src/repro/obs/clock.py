@@ -1,0 +1,49 @@
+"""The sanctioned clocks: one wall-clock home, one monotonic span clock.
+
+Wall-clock reads make results irreproducible when they leak into compute
+paths, so pitexlint's DET004 rule bans ``time.time()`` across the library --
+**except here**.  Everything that legitimately needs a Unix timestamp
+(manifest provenance in :class:`~repro.serve.store.IndexStore`, trace
+metadata) calls :func:`wall_clock`, which keeps the exception auditable as a
+single allowlisted module instead of per-file escape hatches.
+
+Durations are a different beast: they come from a monotonic source so clock
+adjustments can never produce negative spans.  :class:`Clock` wraps that
+source behind one seam so tests can substitute a fake and replay exact
+durations; :data:`DEFAULT_CLOCK` is the shared instance the trace layer uses.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock() -> float:
+    """Current Unix timestamp -- for provenance metadata, never compute state.
+
+    This is the library's only sanctioned ``time.time()`` call site (see the
+    module docstring); route any new wall-clock need through here so the
+    pitexlint DET004 allowlist stays one line long.
+    """
+    return time.time()
+
+
+def monotonic() -> float:
+    """A monotonic reading from the shared :data:`DEFAULT_CLOCK`."""
+    return DEFAULT_CLOCK.monotonic()
+
+
+class Clock:
+    """Monotonic time source behind trace-span durations.
+
+    ``perf_counter`` has the highest available resolution and is immune to
+    wall-clock adjustments.  Tests substitute a subclass with a scripted
+    ``monotonic`` to make span durations exact.
+    """
+
+    def monotonic(self) -> float:
+        """A monotonically non-decreasing reading in fractional seconds."""
+        return time.perf_counter()
+
+
+DEFAULT_CLOCK = Clock()

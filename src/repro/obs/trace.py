@@ -1,0 +1,150 @@
+"""Structured trace spans: near-free when off, JSONL when on.
+
+A *span* is one timed, labelled region of the serving path --
+``trace_span("execute", engine_key=..., method=..., user=...)`` around an
+engine query.  Spans only exist while a :class:`TraceRecorder` is installed
+(``pitex serve-replay --trace trace.jsonl`` installs one); with no recorder,
+:func:`trace_span` returns a shared no-op context manager whose cost is one
+module-global read, which is what keeps tracing-disabled serving throughput
+indistinguishable from the untraced baseline (measured by ``bench_serving``).
+
+Span record schema (one JSON object per line in the JSONL output)::
+
+    {"span": "execute", "seconds": 0.0123, "engine_key": "default",
+     "method": "indexest", "user": 42, "worker": 3, ...}
+
+``span`` (the name) and ``seconds`` (monotonic duration from
+:class:`repro.obs.clock.Clock`) are always present; every other key is a
+caller-supplied field.  ``seconds`` is the *only* run-dependent value -- the
+fields describing the work are deterministic for a seeded workload, matching
+the telemetry determinism contract (``docs/observability.md``).
+
+Worker processes install their own recorder after fork and ship their span
+lists back over the shutdown pipe (:mod:`repro.serve.sharded`), so process
+sharding does not swallow traces.  Thread-safety: :class:`TraceRecorder`
+appends under a lock; any number of service workers may record concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional
+
+from repro.obs.clock import DEFAULT_CLOCK, Clock
+
+
+class TraceRecorder:
+    """Collects span records; drains to JSON Lines.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic source for span durations (tests pass a scripted fake).
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else DEFAULT_CLOCK
+        self._lock = threading.Lock()
+        self._spans: List[dict] = []
+
+    def record(self, span: dict) -> None:
+        """Append one finished span record."""
+        with self._lock:
+            self._spans.append(span)
+
+    def extend(self, spans) -> None:
+        """Append many records at once (a worker's shipped span shard)."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    def spans(self) -> List[dict]:
+        """A point-in-time copy of every recorded span."""
+        with self._lock:
+            return list(self._spans)
+
+    def write_jsonl(self, path) -> int:
+        """Write one JSON object per line to ``path``; returns the span count.
+
+        Keys are sorted so two runs of the same seeded workload produce
+        line-diffable files (modulo the ``seconds`` values).
+        """
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+        return len(spans)
+
+
+class _Span:
+    """Context manager timing one region and recording it on exit."""
+
+    __slots__ = ("_recorder", "_name", "_fields", "_started")
+
+    def __init__(self, recorder: TraceRecorder, name: str, fields: Dict) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._fields = fields
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = self._recorder.clock.monotonic()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = self._recorder.clock.monotonic() - self._started
+        record = {"span": self._name, "seconds": elapsed}
+        record.update(self._fields)
+        self._recorder.record(record)
+
+
+class _NullSpan:
+    """The shared do-nothing span used while no recorder is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+# The active recorder; None means tracing is off (the common case).
+_recorder: Optional[TraceRecorder] = None
+_install_lock = threading.Lock()
+
+
+def install_recorder(recorder: Optional[TraceRecorder]) -> Optional[TraceRecorder]:
+    """Install (or with ``None`` remove) the active recorder; returns the old one."""
+    global _recorder
+    with _install_lock:
+        previous = _recorder
+        _recorder = recorder
+        return previous
+
+
+def get_recorder() -> Optional[TraceRecorder]:
+    """The active recorder, or ``None`` while tracing is off."""
+    return _recorder
+
+
+def tracing_enabled() -> bool:
+    """Whether a recorder is installed (workers propagate this across fork/spawn)."""
+    return _recorder is not None
+
+
+def trace_span(name: str, **fields):
+    """A context manager timing one named region with structured fields.
+
+    With no recorder installed this returns a shared no-op object -- the
+    disabled fast path costs one global read and no allocation.  Fields must
+    be JSON-serializable; keep them deterministic (ids, labels, counts), the
+    recorded ``seconds`` is the only place timing belongs.
+    """
+    recorder = _recorder
+    if recorder is None:
+        return _NULL_SPAN
+    return _Span(recorder, name, fields)

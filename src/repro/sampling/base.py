@@ -22,6 +22,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.digraph import TopicSocialGraph
+from repro.obs.telemetry import counter
 from repro.topics.model import TagTopicModel
 from repro.utils.freeze import guard_check
 from repro.utils.stats import log_binomial, log_sum_binomials
@@ -250,6 +251,8 @@ class InfluenceEstimator(abc.ABC):
                 continue
             rows.append(self.graph.edge_probabilities_under(posterior))
             slots.append(slot)
+        batch_edges = 0
+        batch_samples = 0
         if rows:
             estimates = self.estimate_many_with_probabilities(user, rows)
             for slot, estimate in zip(slots, estimates):
@@ -257,7 +260,14 @@ class InfluenceEstimator(abc.ABC):
                     estimate.kernel = getattr(self, "kernel", "")
                 self.total_edges_visited += estimate.edges_visited
                 self.total_samples += estimate.num_samples
+                batch_edges += estimate.edges_visited
+                batch_samples += estimate.num_samples
                 results[slot] = estimate
+        # Per-method work counters: deterministic for a seeded workload, so
+        # the thread and process backends must report identical totals.
+        counter(f"estimator.{self.name}.estimates", len(tag_sets))
+        counter(f"estimator.{self.name}.edges_visited", batch_edges)
+        counter(f"estimator.{self.name}.samples", batch_samples)
         return results
 
     @abc.abstractmethod

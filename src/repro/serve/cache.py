@@ -40,16 +40,23 @@ from typing import Callable, Hashable, List, Optional, Sequence
 
 from repro.core.engine import METHODS, PitexEngine
 from repro.exceptions import InvalidParameterError
+from repro.obs.telemetry import counter
 
 
 @dataclass
 class EngineCacheStats:
-    """Counters describing cache behaviour since construction."""
+    """Counters describing cache behaviour since construction.
+
+    Every increment is mirrored into the process-wide telemetry registry
+    under ``engine_cache.*`` so service snapshots expose the same numbers
+    without holding a cache reference.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    single_flight_waits: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot (JSON friendly)."""
@@ -58,6 +65,7 @@ class EngineCacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "single_flight_waits": self.single_flight_waits,
         }
 
 
@@ -144,16 +152,20 @@ class EngineCache:
             if entry is None:
                 if record:
                     self.stats.misses += 1
+                    counter("engine_cache.miss")
                 return None
             if entry.engine.graph.version != entry.graph_version:
                 del self._entries[key]
                 self.stats.invalidations += 1
+                counter("engine_cache.invalidation")
                 if record:
                     self.stats.misses += 1
+                    counter("engine_cache.miss")
                 return None
             self._entries.move_to_end(key)
             if record:
                 self.stats.hits += 1
+                counter("engine_cache.hit")
             return entry.engine
 
     def put(self, key: Hashable, engine: PitexEngine) -> None:
@@ -164,6 +176,7 @@ class EngineCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                counter("engine_cache.eviction")
 
     def get_or_create(self, key: Hashable, factory: Callable[[], PitexEngine]) -> PitexEngine:
         """The cached engine for ``key``, building it with ``factory`` on a miss.
@@ -183,6 +196,11 @@ class EngineCache:
             if gate is None:
                 gate = _Gate()
                 self._pending[key] = gate
+            else:
+                # A build for this key is already in flight; we are about to
+                # block on its gate instead of running the factory ourselves.
+                self.stats.single_flight_waits += 1
+                counter("engine_cache.single_flight_wait")
             gate.refs += 1
         try:
             with gate.lock:
@@ -210,6 +228,7 @@ class EngineCache:
             if key in self._entries:
                 del self._entries[key]
                 self.stats.invalidations += 1
+                counter("engine_cache.invalidation")
                 return True
             return False
 

@@ -46,6 +46,10 @@ class ReplayReport:
     responses: List[QueryResponse] = field(default_factory=list)
     overall: LatencyAccumulator = field(default_factory=lambda: LatencyAccumulator(label="all"))
     by_group: Dict[str, LatencyAccumulator] = field(default_factory=dict)
+    # ServiceMetrics.telemetry() section captured by replay_stream.  Caveat:
+    # process-backend worker shards only arrive at service close, so callers
+    # wanting complete totals re-assign this after closing (the CLI does).
+    telemetry: Dict = field(default_factory=dict)
 
     @property
     def failures(self) -> int:
@@ -90,6 +94,7 @@ class ReplayReport:
             "failures": self.failures,
             "overall": self.overall.summary(),
             "groups": {name: acc.summary() for name, acc in sorted(self.by_group.items())},
+            "telemetry": self.telemetry,
         }
 
 
@@ -131,6 +136,7 @@ def replay_stream(
         mode=service.execution_mode(engine_key),
         backend=getattr(service, "backend", "thread"),
         responses=responses,
+        telemetry=service.metrics.telemetry(),
     )
     for response in responses:
         report.overall.add(response.latency_seconds)

@@ -33,6 +33,8 @@ from typing import Callable, Deque, Dict, Hashable, List, Optional
 from repro.core.engine import PitexEngine
 from repro.core.query import PitexResult
 from repro.exceptions import InvalidParameterError
+from repro.obs.telemetry import deterministic_counters, get_telemetry, merge_snapshots
+from repro.obs.trace import trace_span
 from repro.utils.stats import LatencyAccumulator
 
 DEFAULT_ENGINE_KEY = "default"
@@ -94,10 +96,18 @@ class ServiceMetrics:
         # at shutdown; merged here via the exact Chan/reservoir merge.
         self.worker_shards: Dict[str, LatencyAccumulator] = {}
         self.worker_execution = LatencyAccumulator(label="worker-execute")
+        # Per-worker-process telemetry shards (process backend): snapshot
+        # dicts shipped alongside the latency shards, merged by sum/max.
+        self.worker_telemetry: Dict[str, dict] = {}
         self.completed = 0
         self.failed = 0
         self.batches = 0
         self._started_monotonic = time.monotonic()
+        # Counter deltas, not absolutes: the process-wide registry outlives
+        # any one service (engine builds, earlier services, test pollution),
+        # so remember what it held at construction and report growth since.
+        self._telemetry = get_telemetry()
+        self._telemetry_baseline = self._telemetry.counters()
 
     def record(self, response: QueryResponse) -> None:
         """Fold one finished response into the accumulators."""
@@ -135,8 +145,54 @@ class ServiceMetrics:
             self.worker_shards[shard.label] = shard
             self.worker_execution.merge(shard)
 
+    def record_worker_telemetry(self, label: str, snapshot: dict) -> None:
+        """Store one worker process's telemetry shard.
+
+        ``snapshot`` is a :meth:`repro.obs.telemetry.Telemetry.snapshot` dict
+        shipped over the shutdown pipe.  Shards are kept per label *and*
+        merged into the combined view by :meth:`telemetry`; merge order cannot
+        matter (counters sum, gauges max).
+        """
+        with self._lock:
+            self.worker_telemetry[label] = snapshot
+
+    def telemetry(self) -> dict:
+        """The service's telemetry section: local deltas + worker shards.
+
+        ``counters``/``gauges`` are the merged totals, ``deterministic`` the
+        backend-comparable subset (:data:`~repro.obs.telemetry.DETERMINISTIC_PREFIXES`),
+        and ``workers`` the raw per-worker counter shards.  For the process
+        backend the shards only arrive at shutdown, so read this *after*
+        ``close()`` for complete totals.
+        """
+        with self._lock:
+            return self._telemetry_locked()
+
+    def _telemetry_locked(self) -> dict:
+        """:meth:`telemetry` body; caller must hold ``self._lock``."""
+        current = self._telemetry.counters()
+        local = {
+            name: current[name] - self._telemetry_baseline.get(name, 0)
+            for name in sorted(current)
+            if current[name] != self._telemetry_baseline.get(name, 0)
+        }
+        merged = merge_snapshots(
+            {"counters": local, "gauges": self._telemetry.gauges()},
+            *(self.worker_telemetry[label] for label in sorted(self.worker_telemetry)),
+        )
+        counters = {name: merged["counters"][name] for name in sorted(merged["counters"])}
+        return {
+            "counters": counters,
+            "gauges": {name: merged["gauges"][name] for name in sorted(merged["gauges"])},
+            "deterministic": deterministic_counters(counters),
+            "workers": {
+                label: dict(sorted(shard.get("counters", {}).items()))
+                for label, shard in sorted(self.worker_telemetry.items())
+            },
+        }
+
     def snapshot(self) -> dict:
-        """A JSON-friendly snapshot: counts, tails and throughput."""
+        """A JSON-friendly snapshot: counts, tails, throughput and telemetry."""
         with self._lock:
             elapsed = time.monotonic() - self._started_monotonic
             total = self.completed + self.failed
@@ -154,6 +210,7 @@ class ServiceMetrics:
                     name: acc.summary() for name, acc in sorted(self.worker_shards.items())
                 },
                 "worker_execute": self.worker_execution.summary(),
+                "telemetry": self._telemetry_locked(),
             }
 
 
@@ -366,14 +423,22 @@ class PitexService:
         started = time.monotonic()
         queue_seconds = started - pending.enqueued_monotonic
         try:
-            result = engine.query(
+            with trace_span(
+                "execute",
+                engine_key=str(request.engine_key),
                 user=request.user,
-                k=request.k,
                 method=request.method,
-                exploration=request.exploration,
-                epsilon=request.epsilon,
-                delta=request.delta,
-            )
+                group=request.group,
+                batch_size=batch_size,
+            ):
+                result = engine.query(
+                    user=request.user,
+                    k=request.k,
+                    method=request.method,
+                    exploration=request.exploration,
+                    epsilon=request.epsilon,
+                    delta=request.delta,
+                )
             response = QueryResponse(
                 request=request,
                 result=result,

@@ -47,6 +47,14 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.engine import PitexEngine
 from repro.exceptions import InvalidParameterError, StoreError, WorkerError
+from repro.obs.telemetry import Telemetry, counter, get_telemetry, install
+from repro.obs.trace import (
+    TraceRecorder,
+    get_recorder,
+    install_recorder,
+    trace_span,
+    tracing_enabled,
+)
 from repro.serve.service import QueryRequest, QueryResponse, ServiceMetrics
 from repro.serve.store import IndexStore
 from repro.utils.stats import LatencyAccumulator
@@ -199,14 +207,22 @@ def _serve_requests(engine: PitexEngine, worker_id: int, requests, replies):
         error: Optional[str] = None
         result = None
         try:
-            result = engine.query(
+            with trace_span(
+                "execute",
+                engine_key=str(request.engine_key),
                 user=request.user,
-                k=request.k,
                 method=request.method,
-                exploration=request.exploration,
-                epsilon=request.epsilon,
-                delta=request.delta,
-            )
+                group=request.group,
+                worker=worker_id,
+            ):
+                result = engine.query(
+                    user=request.user,
+                    k=request.k,
+                    method=request.method,
+                    exploration=request.exploration,
+                    epsilon=request.epsilon,
+                    delta=request.delta,
+                )
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
         execute_seconds = time.monotonic() - started
@@ -240,28 +256,54 @@ def _serve_requests(engine: PitexEngine, worker_id: int, requests, replies):
     return shard, completed, failed
 
 
-def _worker_main(worker_id: int, spec: EngineSpec, requests, replies) -> None:
-    """Entry point of one worker process: build the replica, then serve."""
+def _worker_main(worker_id: int, spec: EngineSpec, requests, replies, trace: bool = False) -> None:
+    """Entry point of one worker process: build the replica, then serve.
+
+    Installs a **fresh** telemetry registry (and, with ``trace=True``, a
+    fresh trace recorder) before doing any work: a forked child inherits the
+    parent's counters, and shipping those back in the shutdown shard would
+    double-count them.  The previous registry/recorder are restored on exit
+    so the in-process fork-safety tests (which run this function in a thread)
+    leave global state untouched.
+    """
+    previous_telemetry = install(Telemetry())
+    previous_recorder = install_recorder(TraceRecorder() if trace else None)
     try:
-        engine = build_engine_from_spec(spec)
-    except BaseException as exc:
         try:
-            replies.send(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+            engine = build_engine_from_spec(spec)
+        except BaseException as exc:
+            try:
+                replies.send(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError):
+                pass
+            replies.close()
+            return
+        try:
+            replies.send(("ready", worker_id))
+        except (OSError, ValueError):
+            replies.close()
+            return
+        shard, completed, failed = _serve_requests(engine, worker_id, requests, replies)
+        recorder = get_recorder()
+        spans = recorder.spans() if recorder is not None else []
+        try:
+            replies.send(
+                (
+                    "shard",
+                    worker_id,
+                    shard,
+                    completed,
+                    failed,
+                    get_telemetry().snapshot(),
+                    spans,
+                )
+            )
         except (OSError, ValueError):
             pass
         replies.close()
-        return
-    try:
-        replies.send(("ready", worker_id))
-    except (OSError, ValueError):
-        replies.close()
-        return
-    shard, completed, failed = _serve_requests(engine, worker_id, requests, replies)
-    try:
-        replies.send(("shard", worker_id, shard, completed, failed))
-    except (OSError, ValueError):
-        pass
-    replies.close()
+    finally:
+        install(previous_telemetry)
+        install_recorder(previous_recorder)
 
 
 # --------------------------------------------------------------- parent side
@@ -328,6 +370,7 @@ class ProcessShardedService:
         self._closed = False
         self._any_ready = False
         self._ready = [False] * int(num_workers)
+        self._shard_received = [False] * int(num_workers)
         self._fatal: List[Optional[str]] = [None] * int(num_workers)
         self._request_conns = []
         self._reply_conns = []
@@ -335,9 +378,12 @@ class ProcessShardedService:
         for worker_id in range(int(num_workers)):
             request_recv, request_send = context.Pipe(duplex=False)
             reply_recv, reply_send = context.Pipe(duplex=False)
+            # Tracing is decided at construction time: workers install their
+            # own recorder when the parent has one, and ship spans back in
+            # the shutdown shard (works under fork *and* spawn).
             process = context.Process(
                 target=_worker_main,
-                args=(worker_id, spec, request_recv, reply_send),
+                args=(worker_id, spec, request_recv, reply_send, tracing_enabled()),
                 name=f"pitex-shard-{worker_id}",
                 daemon=True,
             )
@@ -492,8 +538,17 @@ class ProcessShardedService:
                 self._fatal[worker_id] = message[2]
                 self._condition.notify_all()
         elif kind == "shard":
-            _, _, shard, _completed, _failed = message
+            shard = message[2]
             self.metrics.record_worker_shard(shard)
+            with self._condition:
+                self._shard_received[worker_id] = True
+            if len(message) >= 7:
+                telemetry_snapshot, spans = message[5], message[6]
+                self.metrics.record_worker_telemetry(shard.label, telemetry_snapshot)
+                if spans:
+                    recorder = get_recorder()
+                    if recorder is not None:
+                        recorder.extend(spans)
         elif kind == "result":
             _, _, request_id, error, result, execute_seconds = message
             with self._condition:
@@ -527,6 +582,15 @@ class ProcessShardedService:
             self._reply_conns[worker_id] = None
             if self._fatal[worker_id] is None and not self._ready[worker_id]:
                 self._fatal[worker_id] = f"died during startup (exit code {exit_code})"
+            if not self._shard_received[worker_id]:
+                # The worker is gone without delivering its shutdown shard; a
+                # clean close always ships the shard before EOF (single FIFO
+                # pipe, single drain thread), so this is a real death.  The
+                # lost telemetry cannot be recovered -- count the loss
+                # explicitly instead of silently under-reporting.
+                counter("worker.deaths")
+                if self._ready[worker_id]:
+                    counter("worker.shards_lost")
             orphans = [
                 (request_id, pending)
                 for request_id, pending in self._pending.items()

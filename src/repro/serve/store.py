@@ -45,7 +45,6 @@ from __future__ import annotations
 import json
 import os
 import shutil
-import time
 import uuid
 from dataclasses import dataclass
 from hashlib import sha256
@@ -58,6 +57,8 @@ from repro.exceptions import InvalidParameterError, StoreError
 from repro.graph.digraph import TopicSocialGraph
 from repro.index.delayed import DelayedMaterializationIndex
 from repro.index.rr_index import RRGraphIndex
+from repro.obs.clock import wall_clock
+from repro.obs.telemetry import counter
 from repro.topics.model import TagTopicModel
 from repro.utils.rng import SeedLike
 from repro.utils.timer import Stopwatch
@@ -219,7 +220,7 @@ class IndexStore:
             "model_hash": model.content_hash(),
             "num_samples": int(num_samples),
             "build_seconds": float(build_seconds),
-            "created_unix": time.time(),
+            "created_unix": wall_clock(),
             "arrays_file": ARRAYS_NAME,
         }
         return self._write_entry(key, manifest, arrays)
@@ -379,10 +380,12 @@ class IndexStore:
         index = self.load_rr_index(graph, model, num_samples)
         if index is not None:
             watch.stop()
+            counter("store.load_or_build.loaded")
             return index, True, watch.elapsed
         index = RRGraphIndex(graph, num_samples, seed=seed).build()
         self.save_rr_index(index, model)
         watch.stop()
+        counter("store.load_or_build.built")
         return index, False, watch.elapsed
 
     def load_or_build_delayed(
@@ -397,10 +400,12 @@ class IndexStore:
         index = self.load_delayed_index(graph, model, num_samples, seed=seed)
         if index is not None:
             watch.stop()
+            counter("store.load_or_build.loaded")
             return index, True, watch.elapsed
         index = DelayedMaterializationIndex(graph, num_samples, seed=seed).build()
         self.save_delayed_index(index, model)
         watch.stop()
+        counter("store.load_or_build.built")
         return index, False, watch.elapsed
 
     # --------------------------------------------------- shared graph bundles
@@ -427,7 +432,7 @@ class IndexStore:
             "num_edges": graph.num_edges,
             "num_topics": graph.num_topics,
             "model_hash": model.content_hash(),
-            "created_unix": time.time(),
+            "created_unix": wall_clock(),
             "arrays_file": ARRAYS_NAME,
         }
         return self._write_entry(key, manifest, arrays)

@@ -27,6 +27,7 @@ import weakref
 from typing import List
 
 from repro.exceptions import EngineFrozenError
+from repro.obs.telemetry import counter
 
 _GUARDS_ATTR = "_freeze_guards"
 
@@ -66,6 +67,7 @@ class FrozenGuard:
             return
         message = f"{self.owner} is frozen (read-only): attempted to {action}"
         self.violations.append(message)
+        counter("guard.trips")
         raise EngineFrozenError(
             f"{message}; call thaw() first, or warm the structure in freeze()"
         )

@@ -41,6 +41,7 @@ BAD_EXPECTATIONS = {
     "det004_wall_clock.py": "DET004",
     "frz001_mutation_escape.py": "FRZ001",
     "lck001_unlocked_write.py": "LCK001",
+    "obs001_direct_timer.py": "OBS001",
     "sup001_bad_pragmas.py": "SUP001",
     "parse001_syntax_error.py": "PARSE001",
 }
@@ -124,13 +125,38 @@ def test_path_pragma_overrides_scope():
     assert [finding.rule for finding in findings] == ["DET001"]
 
 
-def test_wall_clock_scoped_to_compute_core():
+def test_wall_clock_scoped_to_compute_core_and_serving():
     source = "import time\n\n\ndef stamp():\n    return time.time()\n"
     assert [f.rule for f in lint_scratch(source, "src/repro/index/scratch.py")] == ["DET004"]
-    # serve/store.py writes manifest provenance timestamps: allowlisted.
-    assert lint_scratch(source, "src/repro/serve/store.py") == []
+    # The serving layer joined the wall-clock scope when the obs subsystem
+    # landed: store.py's manifest timestamps route through wall_clock() now,
+    # so a raw time.time() there is a finding, not an allowlisted exception.
+    assert [f.rule for f in lint_scratch(source, "src/repro/serve/store.py")] == ["DET004"]
+    # The single sanctioned wall-clock home stays quiet.
+    assert lint_scratch(source, "src/repro/obs/clock.py") == []
     # utils/ is in determinism scope but not in the wall-clock scope.
     assert lint_scratch(source, "src/repro/utils/scratch.py") == []
+
+
+def test_obs001_perf_counter_scoped_to_serving_and_core():
+    source = "import time\n\n\ndef measure():\n    return time.perf_counter()\n"
+    for scoped in ("src/repro/serve/scratch.py", "src/repro/core/scratch.py"):
+        assert [f.rule for f in lint_scratch(source, scoped)] == ["OBS001"]
+    # The sanctioned timing homes (and the compute core's Stopwatch users)
+    # are outside the OBS001 scope.
+    for exempt in (
+        "src/repro/obs/clock.py",
+        "src/repro/utils/timer.py",
+        "src/repro/sampling/scratch.py",
+        "benchmarks/bench_scratch.py",
+    ):
+        assert lint_scratch(source, exempt) == []
+    # from-import aliases are caught too.
+    aliased = "from time import perf_counter as tick\n\n\ndef measure():\n    return tick()\n"
+    assert [f.rule for f in lint_scratch(aliased, "src/repro/serve/scratch.py")] == ["OBS001"]
+    # time.monotonic() stays legal in the serving layer (queue timestamps).
+    monotonic = "import time\n\n\ndef age(t0):\n    return time.monotonic() - t0\n"
+    assert lint_scratch(monotonic, "src/repro/serve/scratch.py") == []
 
 
 def test_same_line_suppression_requires_reason():

@@ -35,6 +35,7 @@ from repro.core.engine import PitexEngine
 from repro.datasets.synthetic import load_dataset
 from repro.exceptions import GraphError, StoreError, WorkerError
 from repro.graph.digraph import TopicSocialGraph
+from repro.obs.telemetry import Telemetry, get_telemetry, install
 from repro.serve.replay import replay_stream
 from repro.serve.service import PitexService, QueryRequest
 from repro.serve.sharded import (
@@ -174,6 +175,7 @@ def test_process_replay_bitwise_equals_thread_oracle(dataset, reference_engine, 
     stream = dataset.query_workload.query_stream(24, seed=13)
     with PitexService.for_engine(reference_engine, num_workers=1, max_batch=4) as service:
         oracle = replay_stream(service, stream, method="indexest+", k=2)
+    oracle_telemetry = service.metrics.telemetry()
     assert oracle.failures == 0
 
     with ProcessShardedService(spec, num_workers=3) as service:
@@ -194,9 +196,28 @@ def test_process_replay_bitwise_equals_thread_oracle(dataset, reference_engine, 
     assert sum(shard["count"] for shard in shards.values()) == len(stream)
     assert snapshot["worker_execute"]["count"] == len(stream)
 
+    # The tentpole invariant: the deterministic counter subset is *exactly*
+    # equal across backends -- not approximately, not modulo worker counters.
+    # Wall-clock durations are the only telemetry allowed to differ.
+    process_telemetry = service.metrics.telemetry()
+    deterministic = process_telemetry["deterministic"]
+    assert deterministic == oracle_telemetry["deterministic"]
+    assert deterministic["query.count"] == len(stream)
+    assert deterministic["query.indexest+.count"] == len(stream)
+    assert deterministic["query.indexest+.samples"] > 0
+    # The process run aggregates one telemetry shard per worker; the thread
+    # oracle runs in-process and therefore has none.
+    assert set(process_telemetry["workers"]) == {"worker-0", "worker-1", "worker-2"}
+    assert oracle_telemetry["workers"] == {}
+    assert snapshot["telemetry"]["deterministic"] == deterministic
+
+    # Worker telemetry shards also only arrive at close, so a complete report
+    # re-captures the section afterwards (the documented ReplayReport caveat).
+    report.telemetry = process_telemetry
     document = report.to_json()
     assert document["backend"] == "process"
     assert document["host_cores"] == int(os.cpu_count() or 1)
+    assert document["telemetry"]["deterministic"] == deterministic
 
 
 def user_sharded_to(service, worker_id, method="indexest+"):
@@ -208,32 +229,51 @@ def user_sharded_to(service, worker_id, method="indexest+"):
 
 
 def test_killed_worker_surfaces_clean_errors_and_peers_survive(spec):
-    with ProcessShardedService(spec, num_workers=2) as service:
-        victim_user = user_sharded_to(service, 0)
-        survivor_user = user_sharded_to(service, 1)
+    # Isolate the global registry so the loss accounting below is exact.
+    previous = install(Telemetry())
+    try:
+        with ProcessShardedService(spec, num_workers=2) as service:
+            victim_user = user_sharded_to(service, 0)
+            survivor_user = user_sharded_to(service, 1)
 
-        # In-flight: the request may complete or fail depending on timing,
-        # but it must resolve -- never hang.
-        in_flight = service.submit(QueryRequest(user=victim_user, k=2, method="indexest+"))
-        service._processes[0].kill()
-        in_flight.result(timeout=60.0)
+            # In-flight: the request may complete or fail depending on timing,
+            # but it must resolve -- never hang.
+            in_flight = service.submit(QueryRequest(user=victim_user, k=2, method="indexest+"))
+            service._processes[0].kill()
+            in_flight.result(timeout=60.0)
 
-        # After EOF detection the shard is marked dead: immediate clean error.
-        deadline = 60.0
-        while service._reply_conns[0] is not None and deadline > 0:
-            threading.Event().wait(0.05)
-            deadline -= 0.05
-        late = service.submit(QueryRequest(user=victim_user, k=2, method="indexest+")).result(
-            timeout=60.0
-        )
-        assert not late.ok
-        assert "WorkerError" in late.error and "worker 0" in late.error
+            # After EOF detection the shard is marked dead: immediate clean error.
+            deadline = 60.0
+            while service._reply_conns[0] is not None and deadline > 0:
+                threading.Event().wait(0.05)
+                deadline -= 0.05
+            late = service.submit(QueryRequest(user=victim_user, k=2, method="indexest+")).result(
+                timeout=60.0
+            )
+            assert not late.ok
+            assert "WorkerError" in late.error and "worker 0" in late.error
 
-        # The surviving shard keeps answering.
-        alive = service.submit(QueryRequest(user=survivor_user, k=2, method="indexest+")).result(
-            timeout=60.0
-        )
-        assert alive.ok
+            # The surviving shard keeps answering.
+            alive = service.submit(QueryRequest(user=survivor_user, k=2, method="indexest+")).result(
+                timeout=60.0
+            )
+            assert alive.ok
+
+        # Satellite (c), loss accounting: the kill is not silent.  Worker 0
+        # died after readiness without shipping its telemetry shard, so the
+        # parent counts both the death and the lost shard; worker 1 closed
+        # cleanly, so exactly one of each.
+        counters = get_telemetry().counters()
+        assert counters["worker.deaths"] == 1
+        assert counters["worker.shards_lost"] == 1
+        # Merging stays lossless over the death: the survivor's shard arrived
+        # and still contributes its queries to the merged telemetry.
+        telemetry = service.metrics.telemetry()
+        assert set(telemetry["workers"]) == {"worker-1"}
+        assert telemetry["workers"]["worker-1"]["query.count"] >= 1
+        assert telemetry["deterministic"]["query.count"] >= 1
+    finally:
+        install(previous)
 
 
 def test_broken_spec_fails_construction_with_the_workers_error(spec):

@@ -8,6 +8,7 @@ import pytest
 from repro.core.engine import PitexEngine
 from repro.datasets.synthetic import load_dataset
 from repro.exceptions import InvalidParameterError
+from repro.obs.telemetry import Telemetry, get_telemetry, install
 from repro.serve.cache import EngineCache
 from repro.serve.service import DEFAULT_ENGINE_KEY, PitexService, QueryRequest
 
@@ -155,6 +156,78 @@ def test_cache_freezes_on_insert_by_default(dataset):
     assert not cache.get("b").is_frozen
 
 
+def test_cache_counters_flow_into_telemetry_registry(dataset):
+    """Satellite: hit/miss/eviction accounting is visible without a cache ref.
+
+    Every ``EngineCacheStats`` increment must be mirrored as an
+    ``engine_cache.*`` counter in the process-wide registry -- that is what
+    lets service snapshots report cache behaviour.
+    """
+    previous = install(Telemetry())
+    try:
+        cache = EngineCache(capacity=1, freeze=False)
+        cache.get_or_create("a", lambda: make_engine(dataset))  # miss + build
+        cache.get("a")  # hit
+        cache.get_or_create("b", lambda: make_engine(dataset))  # miss, evicts "a"
+        cache.invalidate("b")
+        counters = get_telemetry().counters()
+        assert counters["engine_cache.miss"] == 2
+        assert counters["engine_cache.hit"] == 1
+        assert counters["engine_cache.eviction"] == 1
+        assert counters["engine_cache.invalidation"] == 1
+        assert "engine_cache.single_flight_wait" not in counters
+        assert cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 2,
+            "evictions": 1,
+            "invalidations": 1,
+            "single_flight_waits": 0,
+        }
+    finally:
+        install(previous)
+
+
+def test_cache_single_flight_wait_is_counted(dataset):
+    """A thread that blocks behind an in-flight build is counted as a waiter."""
+    previous = install(Telemetry())
+    try:
+        cache = EngineCache(capacity=2, freeze=False)
+        waiter_inbound = threading.Event()
+        results = [None, None]
+
+        def slow_factory():
+            waiter_inbound.wait(timeout=5.0)
+            time.sleep(0.25)  # hold the gate while the waiter reaches it
+            return make_engine(dataset)
+
+        def builder():
+            results[0] = cache.get_or_create("shared", slow_factory)
+
+        def waiter():
+            waiter_inbound.set()
+            results[1] = cache.get_or_create(
+                "shared", lambda: pytest.fail("waiter must not build")
+            )
+
+        builder_thread = threading.Thread(target=builder)
+        builder_thread.start()
+        # The waiter may only start once the builder owns the gate, or it
+        # could win the race and become the builder itself.
+        deadline = time.monotonic() + 5.0
+        while not cache._pending and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert cache._pending, "builder never registered its single-flight gate"
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        builder_thread.join()
+        waiter_thread.join()
+        assert results[0] is results[1]
+        assert cache.stats.single_flight_waits == 1
+        assert get_telemetry().counters()["engine_cache.single_flight_wait"] == 1
+    finally:
+        install(previous)
+
+
 def test_cache_rejects_nonpositive_capacity():
     with pytest.raises(InvalidParameterError):
         EngineCache(capacity=0)
@@ -186,6 +259,35 @@ def test_service_answers_queries_and_records_metrics(dataset):
     assert snapshot["latency"]["p99"] >= snapshot["latency"]["p50"] > 0.0
     assert snapshot["groups"]["mid"]["count"] == 3
     assert snapshot["throughput_qps"] > 0.0
+
+
+def test_service_snapshot_carries_telemetry_deltas(dataset):
+    """The metrics snapshot grows a telemetry section scoped to the service.
+
+    Counters incremented before the service existed (engine builds, other
+    tests) must not leak in: ServiceMetrics reports deltas against the
+    registry state at construction.
+    """
+    previous = install(Telemetry())
+    try:
+        engine = make_engine(dataset)
+        users = dataset.workload("mid", 3)
+        get_telemetry().counter("query.count", 100)  # pre-service noise
+        with PitexService.for_engine(engine, num_workers=2) as service:
+            for user in users:
+                service.query(user=user, k=2, method="lazy")
+        telemetry = service.metrics.snapshot()["telemetry"]
+        assert telemetry["counters"]["query.count"] == 3  # the 100 is baseline
+        assert telemetry["counters"]["query.lazy.count"] == 3
+        assert telemetry["counters"]["query.lazy.samples"] > 0
+        assert telemetry["deterministic"]["query.count"] == 3
+        assert all(
+            name.startswith(("query.", "estimator.", "guard.", "engine_cache."))
+            for name in telemetry["deterministic"]
+        )
+        assert telemetry["workers"] == {}  # thread backend: no process shards
+    finally:
+        install(previous)
 
 
 def test_service_sync_query_and_failure_paths(dataset):

@@ -1,20 +1,20 @@
-"""GOOD fixture: wall clock outside the compute core, monotonic inside it.
+"""GOOD fixture: the sanctioned wall-clock home stays quiet.
 
-DET004 must stay quiet twice over: ``src/repro/serve/store.py`` is the
-allowlisted manifest-metadata writer (provenance timestamps, not compute
-state), and duration measurement uses the monotonic ``perf_counter``.
+DET004 now scopes over serve/ and obs/ with exactly one allowlisted module:
+``src/repro/obs/clock.py``.  Inside it, both the ``time.time()`` wall-clock
+read and the monotonic ``perf_counter`` duration source are legal -- that is
+the whole point of having a single sanctioned home (and obs/ sits outside
+the OBS001 timer scope for the same reason).
 """
 
-# pitexlint: path=src/repro/serve/store.py
+# pitexlint: path=src/repro/obs/clock.py
 
 import time
 
 
-def manifest_metadata():
-    return {"created_at": time.time()}
+def wall_clock():
+    return time.time()
 
 
-def measure(fn):
-    started = time.perf_counter()
-    fn()
-    return time.perf_counter() - started
+def monotonic():
+    return time.perf_counter()

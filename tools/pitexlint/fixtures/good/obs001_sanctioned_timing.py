@@ -1,0 +1,30 @@
+"""GOOD fixture: serving-layer timing through the sanctioned seams.
+
+OBS001 stays quiet when durations come from the obs clock, a Stopwatch, or
+plain ``time.monotonic()`` (queue timestamps -- no clock-seam hazard, and
+reproducibility is not at stake for a duration).
+"""
+
+# pitexlint: path=src/repro/serve/good_timer.py
+
+import time
+
+from repro.obs.clock import monotonic
+from repro.utils.timer import Stopwatch
+
+
+def span_seconds(fn):
+    started = monotonic()
+    fn()
+    return monotonic() - started
+
+
+def stopwatch_seconds(fn):
+    watch = Stopwatch().start()
+    fn()
+    watch.stop()
+    return watch.elapsed
+
+
+def queue_age(enqueued_monotonic):
+    return time.monotonic() - enqueued_monotonic

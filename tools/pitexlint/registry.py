@@ -36,6 +36,12 @@ RULES = {
         "lock-owning serve class writes shared state outside a `with "
         "<lock>` block"
     ),
+    "OBS001": (
+        "direct time.perf_counter() timing in the serving/core layer; time "
+        "through repro.obs.clock (Clock/monotonic) or utils.timer.Stopwatch "
+        "so spans and benchmarks share one clock seam (raw time.time() in "
+        "the same modules is DET004)"
+    ),
     "SUP001": "malformed pitexlint pragma (missing reason or unknown rule)",
     "PARSE001": "file could not be parsed",
 }
@@ -48,18 +54,31 @@ DETERMINISM_SCOPE = ("src/repro/",)
 # The one sanctioned numpy-RNG construction point: RandomSource itself.
 NUMPY_RNG_ALLOW = ("src/repro/utils/rng.py",)
 
-# DET004 applies only to the deterministic compute core.
+# DET004 applies to the deterministic compute core AND the serving/obs
+# layers: since the obs subsystem landed, everything that legitimately needs
+# a Unix timestamp routes through repro.obs.clock.wall_clock().
 WALL_CLOCK_SCOPE = (
     "src/repro/sampling/",
     "src/repro/core/",
     "src/repro/index/",
     "src/repro/propagation/",
+    "src/repro/serve/",
+    "src/repro/obs/",
 )
-# Manifest metadata timestamps are provenance, not compute state.
-WALL_CLOCK_ALLOW = ("src/repro/serve/store.py",)
+# The single sanctioned wall-clock home: obs.clock.wall_clock().  (This used
+# to allowlist all of serve/store.py for its manifest timestamps; those now
+# call wall_clock() instead.)
+WALL_CLOCK_ALLOW = ("src/repro/obs/clock.py",)
 
 FREEZE_SCOPE = ("src/repro/",)
 LOCK_SCOPE = ("src/repro/serve/",)
+
+# OBS001: serving/core modules must not grab time.perf_counter() directly --
+# durations flow through the obs clock seam or utils.timer.Stopwatch, so
+# trace spans, ServiceMetrics and benchmarks are all timed by one swappable
+# source.  (repro.obs.clock and utils/timer.py are outside the scope: they
+# ARE the sanctioned homes.)
+OBS_TIMER_SCOPE = ("src/repro/serve/", "src/repro/core/")
 
 # ------------------------------------------------------- determinism details
 # numpy.random attributes whose direct use bypasses RandomSource.  Covers the
