@@ -22,6 +22,11 @@ Three shape assertions back the serving subsystem (``repro.serve``):
   expected to actually scale on multi-core hosts.  The merged deterministic
   telemetry counters (``docs/observability.md``) must equal the oracle's at
   any worker count;
+* the answer-cache axis: a zipfian repeat workload through a cached frozen
+  service answers bitwise identically to the uncached oracle, the second
+  (warm) pass hits on every query, and the warm p50 service time beats the
+  cold p50 by >= :data:`MIN_WARM_SPEEDUP` x (gated where cores allow; the
+  measured speedup always lands in the artifact);
 * the observability tax: a traced frozen replay answers bitwise identically
   to an untraced one, and the measured throughput overhead of span recording
   lands in the JSON artifact (``trace_overhead.overhead_fraction``).
@@ -58,6 +63,11 @@ MIN_LOAD_SPEEDUP = 5.0
 # inside GIL-releasing numpy kernels, which varies with dataset scale.
 MIN_PARALLEL_SPEEDUP = float(os.environ.get("PITEX_MIN_PARALLEL_SPEEDUP", "2.0"))
 MIN_CORES_FOR_SPEEDUP_GATE = 4
+# Warm-vs-cold p50 gate for the fingerprint-keyed answer cache: a hit is a
+# dict lookup, a miss is a full estimator run, so 5x is conservative on any
+# healthy host; still overridable (0 disables) for pathological environments.
+MIN_WARM_SPEEDUP = float(os.environ.get("PITEX_MIN_WARM_SPEEDUP", "5.0"))
+ZIPF_S = 1.2  # head-skewed repeat traffic for the answer-cache leg
 
 
 @pytest.fixture(scope="module")
@@ -343,6 +353,94 @@ def test_process_backend_matches_thread_oracle_and_scales(
     assert speedup >= MIN_PARALLEL_SPEEDUP, (
         f"{workers}-worker process replay reached only {speedup:.2f}x over one worker "
         f"(gate: >= {MIN_PARALLEL_SPEEDUP}x; processes are not GIL-bound)"
+    )
+
+
+def test_answer_cache_warm_leg_is_bitwise_equal_and_faster(
+    serving_dataset, serving_store, report_payload, harness
+):
+    """The answer-cache axis: zipfian repeat traffic, cached vs uncached.
+
+    One uncached frozen replay is the bitwise oracle; a cached service then
+    replays the same zipfian stream twice through one open service.  Answers
+    must be byte-identical across all three legs (``answers_digest``), the
+    second (warm) pass must hit on every query, and the warm p50 service
+    time must beat the cold p50 by >= :data:`MIN_WARM_SPEEDUP` x.  The
+    timing gate reuses the cores-based skip of the throughput gates --
+    a heavily oversubscribed 1-core host can stall even a dict lookup --
+    but the measured speedup always lands in the JSON artifact.
+    """
+    from repro.serve.answers import AnswerCache
+
+    graph, model = serving_dataset.graph, serving_dataset.model
+    loaded, _, _ = serving_store.load_or_build_rr(
+        graph, model, INDEX_SAMPLES, seed=harness_seed(serving_dataset)
+    )
+    engine = PitexEngine(
+        graph,
+        model,
+        max_samples=harness.config.max_samples,
+        index_samples=INDEX_SAMPLES,
+        default_k=2,
+        seed=harness.config.seed,
+        rr_index=loaded,
+    ).freeze(methods=["indexest+"], ks=[2])
+    stream = serving_dataset.query_workload.query_stream(
+        REPLAY_QUERIES, seed=harness.config.seed, zipf_s=ZIPF_S
+    )
+
+    # Uncached oracle: the frozen engine re-executes every repeat.
+    with PitexService.for_engine(engine, num_workers=2, max_batch=4) as service:
+        oracle = replay_stream(service, stream, method="indexest+", k=2)
+    assert oracle.failures == 0
+    assert oracle.cache_hits == 0
+
+    # Cached service: pass 1 fills the cache, pass 2 replays warm.
+    with PitexService.for_engine(
+        engine, num_workers=2, max_batch=4, answer_cache=AnswerCache()
+    ) as service:
+        cold_pass = replay_stream(service, stream, method="indexest+", k=2)
+        warm_pass = replay_stream(service, stream, method="indexest+", k=2)
+    for report in (cold_pass, warm_pass):
+        assert report.failures == 0
+    assert oracle.answers_digest == cold_pass.answers_digest == warm_pass.answers_digest, (
+        "cached replay answers diverged from the uncached oracle"
+    )
+    unique_users = len({user for _, user in stream})
+    assert cold_pass.cache_hits == REPLAY_QUERIES - unique_users
+    assert warm_pass.cache_hits == REPLAY_QUERIES
+    assert warm_pass.hit_rate == 1.0
+
+    cold_p50 = cold_pass.cold.percentile(50.0)
+    warm_p50 = warm_pass.warm.percentile(50.0)
+    speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+    print(
+        f"\nanswer cache: cold p50 {cold_p50 * 1000:.3f} ms vs warm p50 "
+        f"{warm_p50 * 1000:.3f} ms ({speedup:.1f}x, zipf_s={ZIPF_S}, "
+        f"{unique_users} unique users / {REPLAY_QUERIES} queries)"
+    )
+    report_payload["answer_cache"] = {
+        "method": "indexest+",
+        "num_queries": REPLAY_QUERIES,
+        "zipf_s": ZIPF_S,
+        "unique_users": unique_users,
+        "cold_p50_seconds": cold_p50,
+        "warm_p50_seconds": warm_p50,
+        "warm_speedup": speedup,
+        "cold_pass_hit_rate": cold_pass.hit_rate,
+        "warm_pass_hit_rate": warm_pass.hit_rate,
+        "bitwise_equal_to_uncached_oracle": True,
+    }
+    cores = os.cpu_count() or 1
+    if cores < MIN_CORES_FOR_SPEEDUP_GATE or MIN_WARM_SPEEDUP <= 0:
+        pytest.skip(
+            f"warm-speedup gate needs >= {MIN_CORES_FOR_SPEEDUP_GATE} cores and a "
+            f"positive PITEX_MIN_WARM_SPEEDUP (host has {cores} cores, gate "
+            f"{MIN_WARM_SPEEDUP}); measured {speedup:.1f}x recorded in the artifact"
+        )
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm p50 beat cold p50 by only {speedup:.1f}x "
+        f"(gate: >= {MIN_WARM_SPEEDUP}x; a hit is a dict lookup)"
     )
 
 

@@ -129,6 +129,35 @@ def _build_parser() -> argparse.ArgumentParser:
              "as JSON Lines to PATH (works on both backends; process workers "
              "ship their spans back at shutdown)",
     )
+    replay.add_argument(
+        "--answer-cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="memoize frozen answers by query fingerprint "
+             "(repro.serve.answers.AnswerCache): repeat queries return the "
+             "byte-identical cached result without touching the engine "
+             "(implies --freeze on the thread backend; per-worker replica "
+             "caches on the process backend)",
+    )
+    replay.add_argument(
+        "--zipf-s",
+        type=float,
+        default=0.0,
+        help="Zipf exponent for the within-group user draw of the query "
+             "stream: higher values concentrate repeat traffic on head "
+             "users, which is how warm-cache legs dial their hit rate "
+             "(0 keeps the historical uniform draw)",
+    )
+    replay.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replay the same query stream N times through one open service "
+             "(the answer cache persists across passes, so pass 2+ measures "
+             "the warm path); the JSON document reports the final pass plus "
+             "a per-pass \"passes\" list of hit rates and answer digests",
+    )
     replay.add_argument("--json", action="store_true", help="emit one JSON document instead of text")
     return parser
 
@@ -243,6 +272,7 @@ def _run_index_build(args: argparse.Namespace) -> int:
 
 def _run_serve_replay(args: argparse.Namespace) -> int:
     from repro.obs.trace import TraceRecorder, install_recorder
+    from repro.serve.answers import AnswerCache
     from repro.serve.replay import replay_stream
     from repro.serve.service import PitexService
     from repro.serve.sharded import ProcessShardedService, publish_engine_spec
@@ -251,6 +281,9 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
     if args.backend == "process" and args.store is None:
         print("serve-replay: --backend process requires --store (workers "
               "reconstruct replicas from the persisted arrays)", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print(f"serve-replay: --repeat must be at least 1, got {args.repeat}", file=sys.stderr)
         return 2
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     graph, model = dataset.graph, dataset.model
@@ -269,7 +302,9 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             )
             index_info.append(("delaymat", loaded, seconds))
     stream_seed = args.stream_seed if args.stream_seed is not None else args.seed
-    stream = dataset.query_workload.query_stream(args.num_queries, seed=stream_seed)
+    stream = dataset.query_workload.query_stream(
+        args.num_queries, seed=stream_seed, zipf_s=args.zipf_s
+    )
     recorder = previous_recorder = None
     if args.trace:
         recorder = TraceRecorder()
@@ -294,8 +329,13 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
                 default_k=args.k,
                 index_seed=args.seed,
             )
-            with ProcessShardedService(spec, num_workers=args.workers) as service:
-                report = replay_stream(service, stream, method=args.method, k=args.k)
+            with ProcessShardedService(
+                spec, num_workers=args.workers, answer_cache=args.answer_cache
+            ) as service:
+                reports = [
+                    replay_stream(service, stream, method=args.method, k=args.k)
+                    for _ in range(args.repeat)
+                ]
         else:
             engine = PitexEngine(
                 graph,
@@ -309,14 +349,27 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
                 rr_index=rr_index,
                 delayed_index=delayed_index,
             )
-            if args.freeze:
+            if args.freeze or args.answer_cache:
                 # Warm only the served method; the report's "mode" field
                 # records that the run executed on the lock-free frozen path.
+                # The answer cache only fronts frozen engines (answers must
+                # be pure functions of the fingerprint), so --answer-cache
+                # implies --freeze here.
                 engine.freeze(methods=[args.method], ks=[args.k])
+            answer_cache = AnswerCache() if args.answer_cache else None
             with PitexService.for_engine(
-                engine, num_workers=args.workers, max_batch=args.max_batch
+                engine,
+                num_workers=args.workers,
+                max_batch=args.max_batch,
+                answer_cache=answer_cache,
             ) as service:
-                report = replay_stream(service, stream, method=args.method, k=args.k)
+                reports = [
+                    replay_stream(service, stream, method=args.method, k=args.k)
+                    for _ in range(args.repeat)
+                ]
+        # The final pass is the main document; earlier passes survive as the
+        # per-pass summaries below (cold pass 1 vs warm pass 2+).
+        report = reports[-1]
         # Worker telemetry/span shards only arrive at close (the with-block
         # exit), so the totals -- and the trace file -- are read afterwards.
         report.telemetry = service.metrics.telemetry()
@@ -324,9 +377,21 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
     finally:
         if recorder is not None:
             install_recorder(previous_recorder)
+    passes = [
+        {
+            "pass": number,
+            "hits": pass_report.cache_hits,
+            "hit_rate": pass_report.hit_rate,
+            "failures": pass_report.failures,
+            "wall_seconds": pass_report.wall_seconds,
+            "answers_digest": pass_report.answers_digest,
+        }
+        for number, pass_report in enumerate(reports, start=1)
+    ]
     trace_info = None
     if recorder is not None:
         trace_info = {"path": args.trace, "spans": recorder.write_jsonl(args.trace)}
+    total_failures = sum(pass_report.failures for pass_report in reports)
     if args.json:
         document = report.to_json()
         document["dataset"] = args.dataset
@@ -335,6 +400,7 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             {"kind": kind, "loaded": loaded, "seconds": seconds}
             for kind, loaded, seconds in index_info
         ]
+        document["passes"] = passes
         document["service"] = document_metrics
         if trace_info is not None:
             document["trace"] = trace_info
@@ -345,9 +411,15 @@ def _run_serve_replay(args: argparse.Namespace) -> int:
             action = "loaded from store" if loaded else "built and persisted"
             print(f"{kind}: {action} in {seconds:.3f}s")
         print(format_table(report.to_result()))
+        if args.answer_cache or args.repeat > 1:
+            for entry in passes:
+                print(
+                    f"pass {entry['pass']}: hit_rate={entry['hit_rate']:.3f} "
+                    f"digest={entry['answers_digest'][:16]}"
+                )
         if trace_info is not None:
             print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
-    return 0 if report.failures == 0 else 1
+    return 0 if total_failures == 0 else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -53,6 +53,7 @@ from repro.graph.digraph import TopicSocialGraph
 from repro.index.delayed import DelayedIndexEstimator, DelayedMaterializationIndex
 from repro.index.pruning import PrunedIndexEstimator
 from repro.index.rr_index import IndexEstimator, RRGraphIndex
+from repro.index.tables import FrozenUserTables, build_delayed_tables, build_pruning_tables
 from repro.obs.telemetry import counter
 from repro.sampling.base import InfluenceEstimate, InfluenceEstimator, SampleBudget
 from repro.sampling.lazy import LazyPropagationEstimator
@@ -165,6 +166,7 @@ class PitexEngine:
         self._frozen = False
         self._frozen_methods: Tuple[str, ...] = ()
         self._frozen_ks: Tuple[int, ...] = ()
+        self._user_tables: Optional[FrozenUserTables] = None
         self._guard = FrozenGuard(owner=f"PitexEngine@{id(self):x}")
         self._guarded_objects: list = []
         if rr_index is not None:
@@ -298,11 +300,24 @@ class PitexEngine:
             return TreeModelEstimator(self.graph, self.model, budget)
         if method == "indexest":
             return IndexEstimator(self.graph, self.model, self.rr_index, budget)
+        tables = self._user_tables
         if method == "indexest+":
-            return PrunedIndexEstimator(self.graph, self.model, self.rr_index, budget)
+            return PrunedIndexEstimator(
+                self.graph,
+                self.model,
+                self.rr_index,
+                budget,
+                shared_structures=tables.pruning if tables is not None else None,
+            )
         # delaymat
         return DelayedIndexEstimator(
-            self.graph, self.model, self.delayed_index, budget, seed=seed
+            self.graph,
+            self.model,
+            self.delayed_index,
+            budget,
+            seed=seed,
+            shared_graphs=tables.delayed_graphs if tables is not None else None,
+            shared_filters=tables.delayed_filters if tables is not None else None,
         )
 
     # ---------------------------------------------------------------- lifecycle
@@ -321,10 +336,16 @@ class PitexEngine:
         """The methods warmed by :meth:`freeze` (empty while unfrozen)."""
         return self._frozen_methods
 
+    @property
+    def frozen_user_tables(self) -> Optional[FrozenUserTables]:
+        """The freeze-time per-user tables (``None`` while unfrozen or disabled)."""
+        return self._user_tables
+
     def freeze(
         self,
         methods: Optional[Iterable[str]] = None,
         ks: Optional[Iterable[int]] = None,
+        precompute_tables: bool = True,
     ) -> "PitexEngine":
         """Warm every configured method, then flip the engine read-only.
 
@@ -334,6 +355,14 @@ class PitexEngine:
         materializes the lazily cached graph/model structures (CSR view,
         probability matrix, fingerprint, Jensen ratios) so no first-access
         build can happen on the serving path.
+
+        With ``precompute_tables`` (the default) freezing also builds the
+        read-only per-user tables of :mod:`repro.index.tables` for the warmed
+        index methods, so even the first (cold, uncached) query for a user
+        skips the per-query re-derivation of its cut structures
+        (``indexest+``, bitwise-neutral) and recovered graphs (``delaymat``,
+        drawn once from per-user label-derived streams shared by every
+        same-seed replica).
 
         After ``freeze()``:
 
@@ -393,6 +422,24 @@ class PitexEngine:
         for method in method_list:
             for k in k_list:
                 self.estimator(method, k=k)
+        if precompute_tables:
+            pruning_tables = None
+            delayed_graphs = delayed_filters = None
+            max_probabilities = self.graph.max_edge_probabilities()
+            if "indexest+" in method_list:
+                pruning_tables = build_pruning_tables(self.rr_index, max_probabilities)
+            if "delaymat" in method_list:
+                delayed_graphs, delayed_filters = build_delayed_tables(
+                    self.delayed_index,
+                    max_probabilities,
+                    lambda user: self._stream(f"delaymat-table|{user}"),
+                )
+            if pruning_tables is not None or delayed_graphs is not None:
+                self._user_tables = FrozenUserTables(
+                    pruning=pruning_tables,
+                    delayed_graphs=delayed_graphs,
+                    delayed_filters=delayed_filters,
+                )
         self._frozen_methods = tuple(dict.fromkeys(method_list))
         self._frozen_ks = tuple(k_list)
         self._frozen = True
@@ -422,6 +469,7 @@ class PitexEngine:
         self._frozen = False
         self._frozen_methods = ()
         self._frozen_ks = ()
+        self._user_tables = None
         counter("engine.thaw")
         return self
 

@@ -54,6 +54,7 @@ class QueryWorkload:
         num_queries: int,
         group_weights: Optional[Dict[str, float]] = None,
         seed: SeedLike = None,
+        zipf_s: float = 0.0,
     ) -> List[Tuple[str, int]]:
         """A reproducible stream of ``(group, user)`` query events.
 
@@ -61,12 +62,21 @@ class QueryWorkload:
         (:mod:`repro.serve.replay`): each event first draws a group (by
         ``group_weights``, defaulting to equal weight on every non-empty
         group, mirroring the paper's per-group query batches) and then a
-        uniform user from that group.  Unlike :meth:`users`, the stream draws
+        user from that group.  Unlike :meth:`users`, the stream draws
         from its *own* seeded RNG, so the same ``seed`` always reproduces the
         same stream regardless of any earlier sampling on this workload.
+
+        ``zipf_s`` skews the within-group user draw: the user at rank ``r``
+        of the group's member list gets weight ``1 / (r + 1) ** zipf_s``, so
+        larger ``s`` concentrates repeat traffic on the head of each group
+        (the answer-cache warm legs dial hit rates with it).  ``zipf_s=0``
+        (the default) keeps the historical uniform draw -- bit-for-bit the
+        same stream as before the knob existed.
         """
         if num_queries <= 0:
             raise InvalidParameterError(f"num_queries must be positive, got {num_queries}")
+        if zipf_s < 0:
+            raise InvalidParameterError(f"zipf_s must be non-negative, got {zipf_s}")
         populated = [name for name in GROUPS if self.groups.get(name)]
         if not populated:
             raise InvalidParameterError("every out-degree group is empty for this graph")
@@ -83,11 +93,21 @@ class QueryWorkload:
         rng = spawn_rng(seed)
         names = [name for name, _ in weighted]
         weights = [weight for _, weight in weighted]
+        rank_weights: Dict[str, List[float]] = {}
+        if zipf_s > 0:
+            for name in names:
+                members = self.groups[name]
+                rank_weights[name] = [
+                    1.0 / (rank + 1) ** zipf_s for rank in range(len(members))
+                ]
         stream: List[Tuple[str, int]] = []
         for _ in range(num_queries):
             group = names[rng.weighted_index(weights)]
             members = self.groups[group]
-            stream.append((group, members[rng.integer(0, len(members))]))
+            if zipf_s > 0:
+                stream.append((group, members[rng.weighted_index(rank_weights[group])]))
+            else:
+                stream.append((group, members[rng.integer(0, len(members))]))
         return stream
 
     def group_sizes(self) -> Dict[str, int]:

@@ -208,12 +208,43 @@ class DelayedMaterializationIndex:
         return [self.recover_rr_graph(user, rng) for _ in range(count)]
 
 
+def build_recovery_filters(
+    graphs: List[RRGraph], user: int, max_probabilities: np.ndarray
+) -> Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]:
+    """Build the cut-pruning filter over already-recovered ``graphs``.
+
+    Pure function of the recovered graphs (no RNG draws), shared between the
+    lazy per-estimator path and the freeze-time table build
+    (:mod:`repro.index.tables`).
+    """
+    inverted: Dict[int, List[Tuple[float, int]]] = {}
+    always: Set[int] = set()
+    for position, rr_graph in enumerate(graphs):
+        cut = choose_edge_cut(rr_graph, user, position, max_probabilities)
+        if cut.always_live:
+            always.add(position)
+            continue
+        if not cut.entries:
+            continue
+        for edge_id, threshold in cut.entries:
+            inverted.setdefault(edge_id, []).append((threshold, position))
+    for postings in inverted.values():
+        postings.sort()
+    return inverted, always
+
+
 class DelayedIndexEstimator(InfluenceEstimator):
     """The ``DelayMat`` estimator: recover-then-match with optional cut pruning.
 
     The recovered graphs are cached per user so the many tag-set evaluations of
     one PITEX exploration pay the recovery cost only once -- mirroring the
     paper's query-phase behaviour where recovery happens once per query user.
+
+    ``shared_graphs`` / ``shared_filters`` (when given) are read-only per-user
+    tables owned by a frozen engine (:mod:`repro.index.tables`): users found
+    there skip recovery entirely, users absent fall back to the per-instance
+    caches.  The tables are recovered from the engine's own label-derived
+    streams, so every same-seed replica shares them bit for bit.
     """
 
     name = "delaymat"
@@ -226,6 +257,10 @@ class DelayedIndexEstimator(InfluenceEstimator):
         budget: Optional[SampleBudget] = None,
         use_pruning: bool = True,
         seed: SeedLike = None,
+        shared_graphs: Optional[Dict[int, List[RRGraph]]] = None,
+        shared_filters: Optional[
+            Dict[int, Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]]
+        ] = None,
     ) -> None:
         super().__init__(graph, model, budget)
         if index.graph is not graph:
@@ -233,11 +268,17 @@ class DelayedIndexEstimator(InfluenceEstimator):
         self.index = index
         self.use_pruning = use_pruning
         self._rng = spawn_rng(seed)
+        self._shared_graphs = shared_graphs
+        self._shared_filters = shared_filters
         self._recovered: Dict[int, List[RRGraph]] = {}
         self._filters: Dict[int, Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]] = {}
 
     # ---------------------------------------------------------------- recover
     def _graphs_for(self, user: int) -> List[RRGraph]:
+        if self._shared_graphs is not None:
+            shared = self._shared_graphs.get(user)
+            if shared is not None:
+                return shared
         graphs = self._recovered.get(user)
         if graphs is None:
             guard_check(self, "recover RR-Graphs into a frozen estimator's shared cache")
@@ -246,26 +287,19 @@ class DelayedIndexEstimator(InfluenceEstimator):
         return graphs
 
     def _filter_for(self, user: int):
+        if self._shared_filters is not None:
+            shared = self._shared_filters.get(user)
+            if shared is not None:
+                return shared
         cached = self._filters.get(user)
         if cached is not None:
             return cached
         guard_check(self, "build filter structures in a frozen estimator's shared cache")
-        max_probabilities = self.graph.max_edge_probabilities()
-        inverted: Dict[int, List[Tuple[float, int]]] = {}
-        always: Set[int] = set()
-        for position, rr_graph in enumerate(self._graphs_for(user)):
-            cut = choose_edge_cut(rr_graph, user, position, max_probabilities)
-            if cut.always_live:
-                always.add(position)
-                continue
-            if not cut.entries:
-                continue
-            for edge_id, threshold in cut.entries:
-                inverted.setdefault(edge_id, []).append((threshold, position))
-        for postings in inverted.values():
-            postings.sort()
-        self._filters[user] = (inverted, always)
-        return inverted, always
+        filters = build_recovery_filters(
+            self._graphs_for(user), user, self.graph.max_edge_probabilities()
+        )
+        self._filters[user] = filters
+        return filters
 
     # --------------------------------------------------------------- estimate
     def estimate_with_probabilities(

@@ -122,8 +122,47 @@ class _UserFilterStructures:
     candidate_universe: List[int]
 
 
+def build_user_filter_structures(
+    index: RRGraphIndex, user: int, max_probabilities: np.ndarray
+) -> _UserFilterStructures:
+    """Build the inverted lists of the chosen cuts for ``user``.
+
+    Pure function of the (built) index and the maximum edge probabilities --
+    no RNG draws -- so building at freeze time
+    (:mod:`repro.index.tables`) is bitwise-equivalent to building lazily on
+    the first query.
+    """
+    inverted: Dict[int, List[Tuple[float, int]]] = {}
+    always: Set[int] = set()
+    candidates = index.graphs_containing(user)
+    for rr_index in candidates:
+        rr_graph = index.rr_graphs[rr_index]
+        cut = choose_edge_cut(rr_graph, user, rr_index, max_probabilities)
+        if cut.always_live:
+            always.add(rr_index)
+            continue
+        if not cut.entries:
+            # The user cannot reach the root in this RR-Graph at all.
+            continue
+        for edge_id, threshold in cut.entries:
+            inverted.setdefault(edge_id, []).append((threshold, rr_index))
+    for postings in inverted.values():
+        postings.sort()
+    return _UserFilterStructures(
+        inverted_lists=inverted,
+        always_candidates=always,
+        candidate_universe=list(candidates),
+    )
+
+
 class PrunedIndexEstimator(InfluenceEstimator):
-    """``IndexEst+``: filter-and-verify estimation on top of the RR-Graph index."""
+    """``IndexEst+``: filter-and-verify estimation on top of the RR-Graph index.
+
+    ``shared_structures`` (when given) is a read-only table of precomputed
+    per-user filter structures owned by a frozen engine
+    (:mod:`repro.index.tables`); users found there skip the lazy build, users
+    absent fall back to the per-instance cache.
+    """
 
     name = "indexest+"
 
@@ -133,41 +172,28 @@ class PrunedIndexEstimator(InfluenceEstimator):
         model: TagTopicModel,
         index: RRGraphIndex,
         budget: Optional[SampleBudget] = None,
+        shared_structures: Optional[Dict[int, _UserFilterStructures]] = None,
     ) -> None:
         super().__init__(graph, model, budget)
         if index.graph is not graph:
             raise IndexNotBuiltError("the index was built for a different graph instance")
         self.index = index
+        self._shared_structures = shared_structures
         self._user_structures: Dict[int, _UserFilterStructures] = {}
 
     # ----------------------------------------------------------------- filter
     def _structures_for(self, user: int) -> _UserFilterStructures:
-        """Build (or fetch) the inverted lists of the chosen cuts for ``user``."""
+        """Fetch (or build) the inverted lists of the chosen cuts for ``user``."""
+        if self._shared_structures is not None:
+            shared = self._shared_structures.get(user)
+            if shared is not None:
+                return shared
         cached = self._user_structures.get(user)
         if cached is not None:
             return cached
         guard_check(self, "build cut structures in a frozen estimator's shared cache")
-        max_probabilities = self.graph.max_edge_probabilities()
-        inverted: Dict[int, List[Tuple[float, int]]] = {}
-        always: Set[int] = set()
-        candidates = self.index.graphs_containing(user)
-        for rr_index in candidates:
-            rr_graph = self.index.rr_graphs[rr_index]
-            cut = choose_edge_cut(rr_graph, user, rr_index, max_probabilities)
-            if cut.always_live:
-                always.add(rr_index)
-                continue
-            if not cut.entries:
-                # The user cannot reach the root in this RR-Graph at all.
-                continue
-            for edge_id, threshold in cut.entries:
-                inverted.setdefault(edge_id, []).append((threshold, rr_index))
-        for postings in inverted.values():
-            postings.sort()
-        structures = _UserFilterStructures(
-            inverted_lists=inverted,
-            always_candidates=always,
-            candidate_universe=list(candidates),
+        structures = build_user_filter_structures(
+            self.index, user, self.graph.max_edge_probabilities()
         )
         self._user_structures[user] = structures
         return structures

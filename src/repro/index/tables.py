@@ -1,0 +1,103 @@
+"""Freeze-time per-user tables for the frozen query path.
+
+A frozen engine builds a fresh estimator per query (so concurrent queries
+share no mutable state), which means the per-user structures an estimator
+would normally cache -- the ``IndexEst+`` cut/inverted-list structures and
+the ``DelayMat`` recovered graphs plus their filters -- were re-derived on
+*every* query.  This module precomputes them once at :meth:`PitexEngine.freeze`
+time into read-only tables the engine hands to every query-local estimator,
+so even cold (uncached) queries stop paying the re-derivation tax.
+
+Determinism:
+
+* the ``IndexEst+`` structures are a pure function of the built RR-Graph
+  index (no RNG), so precomputing them is **bitwise-neutral**: frozen
+  answers are identical with or without the table;
+* the ``DelayMat`` recovery consumes RNG, so each user's graphs are drawn
+  from a label-derived engine stream (``delaymat-table|<user>``).  Streams
+  are derived per user independent of build order, and every same-seed
+  engine replica derives the same streams, so the oracle and all process
+  replicas share one table bit for bit.
+
+Users are enumerated from the indexes' own containment maps (every user a
+query could ever recover for); users outside the maps have empty structures
+and fall back to the estimator-local path, which derives the same emptiness
+without consuming RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.index.delayed import (
+    DelayedMaterializationIndex,
+    build_recovery_filters,
+)
+from repro.index.pruning import _UserFilterStructures, build_user_filter_structures
+from repro.index.rr_graph import RRGraph
+from repro.index.rr_index import RRGraphIndex
+from repro.utils.rng import RandomSource
+
+
+@dataclass
+class FrozenUserTables:
+    """Read-only per-user tables owned by a frozen engine.
+
+    ``None`` sections mean the corresponding method was not frozen (or table
+    precompute was disabled), so its estimators keep the lazy per-query path.
+    """
+
+    pruning: Optional[Dict[int, _UserFilterStructures]] = None
+    delayed_graphs: Optional[Dict[int, List[RRGraph]]] = None
+    delayed_filters: Optional[
+        Dict[int, Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]]
+    ] = None
+
+    def num_users(self) -> Dict[str, int]:
+        """Per-section table sizes (JSON friendly; used by freeze telemetry)."""
+        return {
+            "indexest+": len(self.pruning) if self.pruning is not None else 0,
+            "delaymat": len(self.delayed_graphs) if self.delayed_graphs is not None else 0,
+        }
+
+
+def build_pruning_tables(
+    index: RRGraphIndex, max_probabilities: np.ndarray
+) -> Dict[int, _UserFilterStructures]:
+    """``IndexEst+`` cut structures for every user the index contains.
+
+    RNG-free, so the table is bitwise-identical to what the lazy path would
+    build on first query; iteration order is sorted for reproducible build
+    telemetry but cannot affect the structures themselves.
+    """
+    return {
+        user: build_user_filter_structures(index, user, max_probabilities)
+        for user in sorted(index.containment)
+    }
+
+
+def build_delayed_tables(
+    index: DelayedMaterializationIndex,
+    max_probabilities: np.ndarray,
+    stream_for_user: Callable[[int], RandomSource],
+) -> Tuple[
+    Dict[int, List[RRGraph]],
+    Dict[int, Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]],
+]:
+    """``DelayMat`` recovered graphs + filters for every user with containment.
+
+    ``stream_for_user`` maps a user id to a dedicated :class:`RandomSource`
+    (the engine passes its label-derived stream factory), so each user's
+    recovery is independent of every other user's and of build order.
+    """
+    graphs_by_user: Dict[int, List[RRGraph]] = {}
+    filters_by_user: Dict[int, Tuple[Dict[int, List[Tuple[float, int]]], Set[int]]] = {}
+    for user in sorted(index.containment_counts):
+        rng = stream_for_user(user)
+        graphs = index.recover_for_user(user, rng)
+        graphs_by_user[user] = graphs
+        filters_by_user[user] = build_recovery_filters(graphs, user, max_probabilities)
+    return graphs_by_user, filters_by_user

@@ -34,8 +34,11 @@ from typing import Dict, Mapping, Optional
 # Counter prefixes whose values are deterministic functions of a seeded
 # workload: equal across thread/process backends, worker counts and arrival
 # orders.  Wall-clock durations are deliberately *not* counters, so nothing
-# here can smuggle timing into the comparable subset.
-DETERMINISTIC_PREFIXES = ("query.", "estimator.", "guard.", "engine_cache.")
+# here can smuggle timing into the comparable subset.  answer_cache.* earns
+# its seat through single-flight miss accounting plus per-user request
+# sharding (see repro.serve.answers); scheduling-dependent wait counts stay
+# out of telemetry entirely.
+DETERMINISTIC_PREFIXES = ("query.", "estimator.", "guard.", "engine_cache.", "answer_cache.")
 
 
 class Telemetry:

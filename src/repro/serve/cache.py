@@ -169,10 +169,18 @@ class EngineCache:
             return entry.engine
 
     def put(self, key: Hashable, engine: PitexEngine) -> None:
-        """Insert (or replace) an engine, evicting the LRU entry if full."""
+        """Insert (or replace) an engine, evicting the LRU entry if full.
+
+        A same-key replace never grows the cache, so it skips the
+        over-capacity eviction pass entirely: replacing a resident entry must
+        not evict (or count as evicting) the key's LRU neighbor.
+        """
         with self._lock:
+            replaced = key in self._entries
             self._entries[key] = _Entry(engine=engine, graph_version=engine.graph.version)
             self._entries.move_to_end(key)
+            if replaced:
+                return
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
@@ -233,6 +241,16 @@ class EngineCache:
             return False
 
     def clear(self) -> None:
-        """Drop every entry (stats are kept)."""
+        """Drop every entry, counting each as an invalidation (stats are kept).
+
+        ``clear`` is a bulk :meth:`invalidate`, so snapshots must account for
+        the dropped entries the same way -- silently clearing would
+        under-report drops in ``stats.invalidations`` and the mirrored
+        ``engine_cache.invalidation`` telemetry.
+        """
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
+            if dropped:
+                self.stats.invalidations += dropped
+                counter("engine_cache.invalidation", dropped)

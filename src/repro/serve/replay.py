@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.bench.reporting import ExperimentResult, latency_result
 from repro.exceptions import InvalidParameterError
+from repro.serve.answers import answer_digest
 from repro.serve.service import DEFAULT_ENGINE_KEY, PitexService, QueryRequest, QueryResponse
 from repro.utils.stats import LatencyAccumulator
 
@@ -46,6 +47,16 @@ class ReplayReport:
     responses: List[QueryResponse] = field(default_factory=list)
     overall: LatencyAccumulator = field(default_factory=lambda: LatencyAccumulator(label="all"))
     by_group: Dict[str, LatencyAccumulator] = field(default_factory=dict)
+    # Answer-cache accounting: the cold/warm split is over *service time*
+    # (execute_seconds) -- a hit's queue wait is scheduling noise, and the
+    # point of the split is measuring memoization, not queue depth.
+    cache_hits: int = 0
+    cold: LatencyAccumulator = field(default_factory=lambda: LatencyAccumulator(label="cold"))
+    warm: LatencyAccumulator = field(default_factory=lambda: LatencyAccumulator(label="warm"))
+    # sha256 over the deterministic answer facets in stream order
+    # (repro.serve.answers.answer_digest): two replays agree iff their
+    # answers are byte-identical, which is the cached-vs-oracle gate.
+    answers_digest: str = ""
     # ServiceMetrics.telemetry() section captured by replay_stream.  Caveat:
     # process-backend worker shards only arrive at service close, so callers
     # wanting complete totals re-assign this after closing (the CLI does).
@@ -55,6 +66,13 @@ class ReplayReport:
     def failures(self) -> int:
         """Number of failed queries."""
         return sum(1 for response in self.responses if not response.ok)
+
+    @property
+    def hit_rate(self) -> float:
+        """Answer-cache hits over replayed queries (0.0 when uncached)."""
+        if self.num_queries <= 0:
+            return 0.0
+        return self.cache_hits / self.num_queries
 
     @property
     def throughput_qps(self) -> float:
@@ -94,6 +112,13 @@ class ReplayReport:
             "failures": self.failures,
             "overall": self.overall.summary(),
             "groups": {name: acc.summary() for name, acc in sorted(self.by_group.items())},
+            "answer_cache": {
+                "hits": self.cache_hits,
+                "hit_rate": self.hit_rate,
+                "cold": self.cold.summary(),
+                "warm": self.warm.summary(),
+                "answers_digest": self.answers_digest,
+            },
             "telemetry": self.telemetry,
         }
 
@@ -140,10 +165,16 @@ def replay_stream(
     )
     for response in responses:
         report.overall.add(response.latency_seconds)
+        if response.cache_hit:
+            report.cache_hits += 1
+            report.warm.add(response.execute_seconds)
+        else:
+            report.cold.add(response.execute_seconds)
         group = response.request.group or "all"
         accumulator = report.by_group.get(group)
         if accumulator is None:
             accumulator = LatencyAccumulator(label=group)
             report.by_group[group] = accumulator
         accumulator.add(response.latency_seconds)
+    report.answers_digest = answer_digest(response.result for response in responses)
     return report

@@ -33,6 +33,7 @@ from typing import Callable, Deque, Dict, Hashable, List, Optional
 from repro.core.engine import PitexEngine
 from repro.core.query import PitexResult
 from repro.exceptions import InvalidParameterError
+from repro.serve.answers import AnswerCache, answer_key
 from repro.obs.telemetry import deterministic_counters, get_telemetry, merge_snapshots
 from repro.obs.trace import trace_span
 from repro.utils.stats import LatencyAccumulator
@@ -62,7 +63,13 @@ class QueryRequest:
 
 @dataclass
 class QueryResponse:
-    """The service's answer: the result plus its latency accounting."""
+    """The service's answer: the result plus its latency accounting.
+
+    ``cache_hit`` marks answers served from the fingerprint-keyed
+    :class:`~repro.serve.answers.AnswerCache` without touching the engine;
+    :class:`ServiceMetrics` uses it to keep microsecond hits out of the
+    execute percentiles.
+    """
 
     request: QueryRequest
     result: Optional[PitexResult] = None
@@ -70,6 +77,7 @@ class QueryResponse:
     queue_seconds: float = 0.0
     execute_seconds: float = 0.0
     batch_size: int = 1
+    cache_hit: bool = False
 
     @property
     def ok(self) -> bool:
@@ -90,6 +98,10 @@ class ServiceMetrics:
         self.latency = LatencyAccumulator(label="total")
         self.queue_wait = LatencyAccumulator(label="queue")
         self.execution = LatencyAccumulator(label="execute")
+        # Answer-cache hits land here instead of `execution`: a microsecond
+        # hit averaged into the engine-execute percentiles would make p50
+        # meaningless, so the split keeps `execution` engine-work-only.
+        self.answer_hits = LatencyAccumulator(label="answer-hit")
         self.by_group: Dict[str, LatencyAccumulator] = {}
         # Per-worker-process execution shards (process backend only): each
         # worker measures its own execute latencies and ships the accumulator
@@ -118,7 +130,10 @@ class ServiceMetrics:
                 self.failed += 1
             self.latency.add(response.latency_seconds)
             self.queue_wait.add(response.queue_seconds)
-            self.execution.add(response.execute_seconds)
+            if response.cache_hit:
+                self.answer_hits.add(response.execute_seconds)
+            else:
+                self.execution.add(response.execute_seconds)
             group = response.request.group or "all"
             accumulator = self.by_group.get(group)
             if accumulator is None:
@@ -205,6 +220,7 @@ class ServiceMetrics:
                 "latency": self.latency.summary(),
                 "queue": self.queue_wait.summary(),
                 "execute": self.execution.summary(),
+                "answer_hits": self.answer_hits.summary(),
                 "groups": {name: acc.summary() for name, acc in sorted(self.by_group.items())},
                 "worker_shards": {
                     name: acc.summary() for name, acc in sorted(self.worker_shards.items())
@@ -239,6 +255,12 @@ class PitexService:
     max_batch:
         Upper bound on how many same-engine requests one worker claims at
         once.
+    answer_cache:
+        Optional :class:`~repro.serve.answers.AnswerCache` consulted before
+        executing requests against *frozen* engines (whose answers are pure
+        functions of the query fingerprint); unfrozen engines always execute.
+        Hits skip the engine, the execute trace span and the ``query.*``
+        telemetry, and are recorded as ``cache_hit`` responses.
     """
 
     backend = "thread"
@@ -248,12 +270,14 @@ class PitexService:
         engine_provider: Callable[[Hashable], PitexEngine],
         num_workers: int = 2,
         max_batch: int = 8,
+        answer_cache: Optional[AnswerCache] = None,
     ) -> None:
         if num_workers <= 0:
             raise InvalidParameterError(f"num_workers must be positive, got {num_workers}")
         if max_batch <= 0:
             raise InvalidParameterError(f"max_batch must be positive, got {max_batch}")
         self._provider = engine_provider
+        self.answer_cache = answer_cache
         self.max_batch = int(max_batch)
         self.metrics = ServiceMetrics()
         self._queue: Deque[_Pending] = deque()
@@ -277,9 +301,20 @@ class PitexService:
             worker.start()
 
     @classmethod
-    def for_engine(cls, engine: PitexEngine, num_workers: int = 1, max_batch: int = 8) -> "PitexService":
+    def for_engine(
+        cls,
+        engine: PitexEngine,
+        num_workers: int = 1,
+        max_batch: int = 8,
+        answer_cache: Optional[AnswerCache] = None,
+    ) -> "PitexService":
         """A service that answers everything with one fixed engine."""
-        return cls(lambda key: engine, num_workers=num_workers, max_batch=max_batch)
+        return cls(
+            lambda key: engine,
+            num_workers=num_workers,
+            max_batch=max_batch,
+            answer_cache=answer_cache,
+        )
 
     @property
     def num_workers(self) -> int:
@@ -416,35 +451,51 @@ class PitexService:
                 for pending in batch:
                     self._execute(engine, pending, len(batch))
 
+    def _run_query(self, engine: PitexEngine, request: QueryRequest, batch_size: int) -> PitexResult:
+        """Execute ``request`` on ``engine`` inside the execute trace span."""
+        with trace_span(
+            "execute",
+            engine_key=str(request.engine_key),
+            user=request.user,
+            method=request.method,
+            group=request.group,
+            batch_size=batch_size,
+        ):
+            return engine.query(
+                user=request.user,
+                k=request.k,
+                method=request.method,
+                exploration=request.exploration,
+                epsilon=request.epsilon,
+                delta=request.delta,
+            )
+
     def _execute(self, engine: PitexEngine, pending: _Pending, batch_size: int) -> None:
         request = pending.request
         if not pending.future.set_running_or_notify_cancel():
             return  # client cancelled while queued; nothing to run or record
         started = time.monotonic()
         queue_seconds = started - pending.enqueued_monotonic
+        cache_hit = False
         try:
-            with trace_span(
-                "execute",
-                engine_key=str(request.engine_key),
-                user=request.user,
-                method=request.method,
-                group=request.group,
-                batch_size=batch_size,
-            ):
-                result = engine.query(
-                    user=request.user,
-                    k=request.k,
-                    method=request.method,
-                    exploration=request.exploration,
-                    epsilon=request.epsilon,
-                    delta=request.delta,
+            cache = self.answer_cache
+            if cache is not None and getattr(engine, "is_frozen", False):
+                # Frozen answers are pure functions of the fingerprint, so a
+                # hit returns the memoized result without touching the
+                # engine -- no query.* telemetry, no execute span.
+                key = answer_key(engine, request)
+                result, cache_hit = cache.get_or_compute(
+                    key, lambda: self._run_query(engine, request, batch_size)
                 )
+            else:
+                result = self._run_query(engine, request, batch_size)
             response = QueryResponse(
                 request=request,
                 result=result,
                 queue_seconds=queue_seconds,
                 execute_seconds=time.monotonic() - started,
                 batch_size=batch_size,
+                cache_hit=cache_hit,
             )
         except Exception as exc:
             response = QueryResponse(

@@ -55,6 +55,7 @@ from repro.obs.trace import (
     trace_span,
     tracing_enabled,
 )
+from repro.serve.answers import DEFAULT_ANSWER_CAPACITY, AnswerCache, answer_key
 from repro.serve.service import QueryRequest, QueryResponse, ServiceMetrics
 from repro.serve.store import IndexStore
 from repro.utils.stats import LatencyAccumulator
@@ -87,6 +88,10 @@ class EngineSpec:
     methods: Tuple[str, ...] = ("indexest",)
     ks: Tuple[int, ...] = ()
     mmap: bool = True
+    # Build the freeze-time per-user tables (repro.index.tables) in every
+    # replica; same-seed replicas derive identical tables, so this preserves
+    # bitwise equality with the thread oracle.
+    precompute_tables: bool = True
 
 
 def publish_engine_spec(
@@ -105,6 +110,7 @@ def publish_engine_spec(
     kernel: str = "csr",
     index_seed=None,
     mmap: bool = True,
+    precompute_tables: bool = True,
 ) -> EngineSpec:
     """Persist everything workers need and return the matching spec.
 
@@ -132,6 +138,7 @@ def publish_engine_spec(
         methods=lowered,
         ks=tuple(int(k) for k in ks),
         mmap=mmap,
+        precompute_tables=precompute_tables,
     )
 
 
@@ -179,22 +186,55 @@ def build_engine_from_spec(spec: EngineSpec) -> PitexEngine:
         rr_index=rr_index,
         delayed_index=delayed_index,
     )
-    engine.freeze(methods=methods, ks=spec.ks or None)
+    engine.freeze(
+        methods=methods, ks=spec.ks or None, precompute_tables=spec.precompute_tables
+    )
     return engine
 
 
 # --------------------------------------------------------------- worker side
-def _serve_requests(engine: PitexEngine, worker_id: int, requests, replies):
+def _serve_requests(
+    engine: PitexEngine,
+    worker_id: int,
+    requests,
+    replies,
+    answer_cache: Optional[AnswerCache] = None,
+):
     """Drain the request pipe until EOF/stop; returns the latency shard.
 
     Factored out of :func:`_worker_main` so the loop is unit-testable
     in-process (the fork-safety tests drive it with plain ``Pipe`` ends).
     An unpicklable result degrades to an error reply; a broken reply pipe
     ends the loop -- the parent sees EOF either way.
+
+    ``answer_cache`` (when given) memoizes frozen answers per worker; the
+    by-user request sharding routes every fingerprint to exactly one worker,
+    so the per-worker caches behave like one shared cache.  Hits skip the
+    engine, the execute span and the shard accumulator (hits must not drag
+    the engine-execute percentiles down), and are flagged in the reply tuple.
     """
     shard = LatencyAccumulator(label=f"worker-{worker_id}")
     completed = 0
     failed = 0
+
+    def run_query(request):
+        with trace_span(
+            "execute",
+            engine_key=str(request.engine_key),
+            user=request.user,
+            method=request.method,
+            group=request.group,
+            worker=worker_id,
+        ):
+            return engine.query(
+                user=request.user,
+                k=request.k,
+                method=request.method,
+                exploration=request.exploration,
+                epsilon=request.epsilon,
+                delta=request.delta,
+            )
+
     while True:
         try:
             message = requests.recv()
@@ -206,33 +246,28 @@ def _serve_requests(engine: PitexEngine, worker_id: int, requests, replies):
         started = time.monotonic()
         error: Optional[str] = None
         result = None
+        cache_hit = False
         try:
-            with trace_span(
-                "execute",
-                engine_key=str(request.engine_key),
-                user=request.user,
-                method=request.method,
-                group=request.group,
-                worker=worker_id,
-            ):
-                result = engine.query(
-                    user=request.user,
-                    k=request.k,
-                    method=request.method,
-                    exploration=request.exploration,
-                    epsilon=request.epsilon,
-                    delta=request.delta,
+            if answer_cache is not None and getattr(engine, "is_frozen", False):
+                key = answer_key(engine, request)
+                result, cache_hit = answer_cache.get_or_compute(
+                    key, lambda: run_query(request)
                 )
+            else:
+                result = run_query(request)
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
         execute_seconds = time.monotonic() - started
-        shard.add(execute_seconds)
+        if not cache_hit:
+            shard.add(execute_seconds)
         if error is None:
             completed += 1
         else:
             failed += 1
         try:
-            replies.send(("result", worker_id, request_id, error, result, execute_seconds))
+            replies.send(
+                ("result", worker_id, request_id, error, result, execute_seconds, cache_hit)
+            )
         except OSError:
             break  # parent is gone; nothing left to answer to
         except Exception as exc:  # unpicklable result: degrade, don't die
@@ -249,6 +284,7 @@ def _serve_requests(engine: PitexEngine, worker_id: int, requests, replies):
                         f"result ({type(exc).__name__}: {exc})",
                         None,
                         execute_seconds,
+                        cache_hit,
                     )
                 )
             except (OSError, ValueError):
@@ -256,7 +292,14 @@ def _serve_requests(engine: PitexEngine, worker_id: int, requests, replies):
     return shard, completed, failed
 
 
-def _worker_main(worker_id: int, spec: EngineSpec, requests, replies, trace: bool = False) -> None:
+def _worker_main(
+    worker_id: int,
+    spec: EngineSpec,
+    requests,
+    replies,
+    trace: bool = False,
+    answer_cache_capacity: int = 0,
+) -> None:
     """Entry point of one worker process: build the replica, then serve.
 
     Installs a **fresh** telemetry registry (and, with ``trace=True``, a
@@ -265,6 +308,10 @@ def _worker_main(worker_id: int, spec: EngineSpec, requests, replies, trace: boo
     double-count them.  The previous registry/recorder are restored on exit
     so the in-process fork-safety tests (which run this function in a thread)
     leave global state untouched.
+
+    ``answer_cache_capacity`` > 0 equips the worker with a per-process
+    :class:`~repro.serve.answers.AnswerCache` replica of that capacity;
+    0 (the default) serves uncached.
     """
     previous_telemetry = install(Telemetry())
     previous_recorder = install_recorder(TraceRecorder() if trace else None)
@@ -283,7 +330,12 @@ def _worker_main(worker_id: int, spec: EngineSpec, requests, replies, trace: boo
         except (OSError, ValueError):
             replies.close()
             return
-        shard, completed, failed = _serve_requests(engine, worker_id, requests, replies)
+        answer_cache = (
+            AnswerCache(capacity=answer_cache_capacity) if answer_cache_capacity > 0 else None
+        )
+        shard, completed, failed = _serve_requests(
+            engine, worker_id, requests, replies, answer_cache=answer_cache
+        )
         recorder = get_recorder()
         spans = recorder.spans() if recorder is not None else []
         try:
@@ -343,6 +395,14 @@ class ProcessShardedService:
         Seconds to wait for every worker to report its replica ready;
         a worker that dies or reports a build failure raises
         :class:`~repro.exceptions.WorkerError` from the constructor.
+    answer_cache:
+        Equip every worker with a per-process
+        :class:`~repro.serve.answers.AnswerCache` replica.  The by-user
+        sharding sends each fingerprint to exactly one worker, so hit/miss
+        totals across the replicas equal a single shared cache's (what the
+        cross-backend telemetry gate compares).
+    answer_cache_capacity:
+        Per-worker cache capacity when ``answer_cache`` is enabled.
     """
 
     backend = "process"
@@ -353,6 +413,8 @@ class ProcessShardedService:
         num_workers: int = 2,
         start_method: Optional[str] = None,
         startup_timeout: float = 300.0,
+        answer_cache: bool = False,
+        answer_cache_capacity: int = DEFAULT_ANSWER_CAPACITY,
     ) -> None:
         if num_workers <= 0:
             raise InvalidParameterError(f"num_workers must be positive, got {num_workers}")
@@ -383,7 +445,14 @@ class ProcessShardedService:
             # the shutdown shard (works under fork *and* spawn).
             process = context.Process(
                 target=_worker_main,
-                args=(worker_id, spec, request_recv, reply_send, tracing_enabled()),
+                args=(
+                    worker_id,
+                    spec,
+                    request_recv,
+                    reply_send,
+                    tracing_enabled(),
+                    int(answer_cache_capacity) if answer_cache else 0,
+                ),
                 name=f"pitex-shard-{worker_id}",
                 daemon=True,
             )
@@ -550,7 +619,9 @@ class ProcessShardedService:
                     if recorder is not None:
                         recorder.extend(spans)
         elif kind == "result":
-            _, _, request_id, error, result, execute_seconds = message
+            request_id, error, result, execute_seconds = message[2:6]
+            # Length-tolerant: pre-answer-cache workers sent 6-tuples.
+            cache_hit = bool(message[6]) if len(message) > 6 else False
             with self._condition:
                 pending = self._pending.pop(request_id, None)
             if pending is None:
@@ -567,6 +638,7 @@ class ProcessShardedService:
                 error=error,
                 queue_seconds=queue_seconds,
                 execute_seconds=execute_seconds,
+                cache_hit=cache_hit,
             )
             self.metrics.record(response)
             pending.future.set_result(response)

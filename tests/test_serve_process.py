@@ -220,6 +220,46 @@ def test_process_replay_bitwise_equals_thread_oracle(dataset, reference_engine, 
     assert document["telemetry"]["deterministic"] == deterministic
 
 
+def test_process_answer_cache_bitwise_equals_thread_cached_oracle(
+    dataset, reference_engine, spec
+):
+    """Per-worker answer caches: bitwise answers + identical answer_cache.*.
+
+    The process backend shards requests by user, so each fingerprint lands on
+    exactly one worker and the per-worker cache tallies must sum to the
+    shared thread-backend cache's totals -- which puts ``answer_cache.hit``,
+    ``.miss`` and ``.bytes`` in the deterministic counter subset compared
+    here.
+    """
+    from repro.serve.answers import AnswerCache
+
+    stream = dataset.query_workload.query_stream(24, seed=13, zipf_s=1.3)
+    unique = len({user for _, user in stream})
+    assert unique < len(stream)
+
+    with PitexService.for_engine(
+        reference_engine, num_workers=1, max_batch=4, answer_cache=AnswerCache()
+    ) as service:
+        oracle = replay_stream(service, stream, method="indexest+", k=2)
+    oracle_deterministic = service.metrics.telemetry()["deterministic"]
+    assert oracle.failures == 0
+    assert oracle.cache_hits == len(stream) - unique
+
+    with ProcessShardedService(spec, num_workers=3, answer_cache=True) as service:
+        report = replay_stream(service, stream, method="indexest+", k=2)
+    process_deterministic = service.metrics.telemetry()["deterministic"]
+
+    assert report.failures == 0
+    assert report.answers_digest == oracle.answers_digest
+    assert report.cache_hits == oracle.cache_hits
+    assert process_deterministic == oracle_deterministic
+    assert process_deterministic["answer_cache.miss"] == unique
+    assert process_deterministic["answer_cache.hit"] == len(stream) - unique
+    assert process_deterministic["answer_cache.bytes"] > 0
+    # Hits skip the engine on both backends: query.count counts misses only.
+    assert process_deterministic["query.count"] == unique
+
+
 def user_sharded_to(service, worker_id, method="indexest+"):
     """A user id whose requests land on ``worker_id``."""
     for user in range(10_000):

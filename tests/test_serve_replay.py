@@ -49,6 +49,37 @@ def test_query_stream_rejects_bad_arguments(dataset):
         workload.query_stream(5, group_weights={"bogus": 1.0}, seed=1)
     with pytest.raises(InvalidParameterError):
         workload.query_stream(5, group_weights={"mid": 0.0}, seed=1)
+    with pytest.raises(InvalidParameterError):
+        workload.query_stream(5, seed=1, zipf_s=-0.1)
+
+
+def test_query_stream_zipf_zero_is_bitwise_legacy(dataset):
+    """zipf_s=0 (and the default) reproduce the historical uniform stream."""
+    workload = dataset.query_workload
+    legacy = workload.query_stream(25, seed=42)
+    assert workload.query_stream(25, seed=42, zipf_s=0.0) == legacy
+
+
+def test_query_stream_zipf_is_deterministic_and_valid(dataset):
+    workload = dataset.query_workload
+    first = workload.query_stream(30, seed=19, zipf_s=1.1)
+    assert first == workload.query_stream(30, seed=19, zipf_s=1.1)
+    assert first != workload.query_stream(30, seed=20, zipf_s=1.1)
+    for group, user in first:
+        assert user in workload.groups[group]
+
+
+def test_query_stream_zipf_concentrates_repeat_traffic(dataset):
+    """Higher zipf_s means fewer unique users, i.e. more cacheable repeats."""
+    workload = dataset.query_workload
+
+    def unique_users(zipf_s):
+        stream = workload.query_stream(60, seed=23, zipf_s=zipf_s)
+        return len({user for _, user in stream})
+
+    uniques = [unique_users(zipf_s) for zipf_s in (0.0, 1.0, 2.5)]
+    assert uniques[0] >= uniques[1] >= uniques[2]
+    assert uniques[2] < uniques[0], "the skew never concentrated the draw"
 
 
 # ---------------------------------------------------------------- replay_stream

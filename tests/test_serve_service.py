@@ -228,6 +228,57 @@ def test_cache_single_flight_wait_is_counted(dataset):
         install(previous)
 
 
+def test_cache_clear_counts_invalidations(dataset):
+    """Regression (bugfix): clear() is a bulk invalidate, not a silent drop.
+
+    Dropping N entries via clear() must add N to ``stats.invalidations`` and
+    mirror the same amount into ``engine_cache.invalidation`` telemetry --
+    previously cleared entries vanished without a trace, under-reporting
+    drops relative to per-key invalidate().
+    """
+    previous = install(Telemetry())
+    try:
+        cache = EngineCache(capacity=4, freeze=False)
+        for key in ("a", "b", "c"):
+            cache.put(key, make_engine(dataset))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 3
+        assert get_telemetry().counters()["engine_cache.invalidation"] == 3
+        # An empty clear is a no-op on both stats and telemetry.
+        cache.clear()
+        assert cache.stats.invalidations == 3
+        assert get_telemetry().counters()["engine_cache.invalidation"] == 3
+    finally:
+        install(previous)
+
+
+def test_cache_put_same_key_replace_never_evicts(dataset):
+    """Regression (bugfix): replacing a resident key must not run evictions.
+
+    A same-key put never grows the cache, so at full capacity it must not
+    evict (or count as evicting) the key's LRU neighbor -- previously the
+    over-capacity loop could fire on a replace and throw out a live entry.
+    """
+    previous = install(Telemetry())
+    try:
+        cache = EngineCache(capacity=2, freeze=False)
+        cache.put("a", make_engine(dataset, seed=1))
+        cache.put("b", make_engine(dataset, seed=2))
+        replacement = make_engine(dataset, seed=3)
+        cache.put("a", replacement)  # replace at full capacity
+        assert cache.stats.evictions == 0
+        assert "engine_cache.eviction" not in get_telemetry().counters()
+        assert sorted(cache.keys()) == ["a", "b"]
+        assert cache.get("a") is replacement
+        # The replace refreshed "a"'s recency: a genuine insert evicts "b".
+        cache.put("c", make_engine(dataset, seed=4))
+        assert cache.stats.evictions == 1
+        assert cache.keys() == ["a", "c"]
+    finally:
+        install(previous)
+
+
 def test_cache_rejects_nonpositive_capacity():
     with pytest.raises(InvalidParameterError):
         EngineCache(capacity=0)
